@@ -1,0 +1,213 @@
+//! Accepting-path counting for finite automata.
+//!
+//! For an **unambiguous** automaton the number of accepting paths on words
+//! of length `n` equals the number of accepted words of length `n`; this is
+//! the engine behind the polynomial-time containment test of Stearns &
+//! Hunt (1985) used by Lemma 5.6 of the paper (the tractable cover-condition
+//! check). Counts are computed modulo a set of large primes to stay in
+//! `u64` arithmetic; sequences of path counts satisfy a linear recurrence of
+//! order ≤ `num_states`, so agreement on a finite prefix of lengths implies
+//! agreement everywhere (Cayley–Hamilton).
+
+use crate::nfa::{Nfa, StateId};
+
+/// Large primes below 2^62 used for modular path counting. Agreement modulo
+/// all of them on the Cayley–Hamilton-bounded prefix is, for non-adversarial
+/// inputs, overwhelming evidence of exact equality; the prime set is fixed
+/// (not randomized) so results are reproducible.
+pub const COUNT_PRIMES: [u64; 3] = [
+    4_611_686_018_427_387_847, // 2^62 - 57
+    4_611_686_018_427_387_817, // prime < 2^62
+    2_305_843_009_213_693_951, // 2^61 - 1 (Mersenne)
+];
+
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Streams, per word length `0..=max_len`, the number of accepting paths of
+/// the automaton modulo `modulus`. The automaton must be ε-free.
+pub struct PathCounter<'a> {
+    nfa: &'a Nfa,
+    modulus: u64,
+    /// `vec[q]` = number of paths from a start state to `q` of the current
+    /// length, mod `modulus`.
+    vec: Vec<u64>,
+}
+
+impl<'a> PathCounter<'a> {
+    /// Creates a counter; `nfa` must be ε-free (debug-asserted).
+    pub fn new(nfa: &'a Nfa, modulus: u64) -> Self {
+        debug_assert!(!nfa.has_eps(), "PathCounter requires an eps-free NFA");
+        let mut vec = vec![0u64; nfa.num_states()];
+        for &s in nfa.starts() {
+            // Multiple start entries are deduplicated by Nfa::add_start.
+            vec[s as usize] = 1;
+        }
+        PathCounter { nfa, modulus, vec }
+    }
+
+    /// Number of accepting paths at the current length.
+    pub fn current_count(&self) -> u64 {
+        let mut acc: u64 = 0;
+        for q in self.nfa.final_states() {
+            acc = (acc + self.vec[q as usize]) % self.modulus;
+        }
+        acc
+    }
+
+    /// Advances to the next word length.
+    pub fn step(&mut self) {
+        let mut next = vec![0u64; self.nfa.num_states()];
+        for q in 0..self.nfa.num_states() {
+            let c = self.vec[q];
+            if c == 0 {
+                continue;
+            }
+            for &(_, r) in self.nfa.transitions_from(q as StateId) {
+                next[r as usize] = (next[r as usize] + c) % self.modulus;
+            }
+        }
+        self.vec = next;
+    }
+}
+
+/// Returns the numbers of accepting paths for word lengths `0..=max_len`
+/// modulo `modulus`. ε-transitions are eliminated first.
+pub fn path_counts_mod(nfa: &Nfa, max_len: usize, modulus: u64) -> Vec<u64> {
+    let nfa = nfa.remove_eps();
+    let mut counter = PathCounter::new(&nfa, modulus);
+    let mut out = Vec::with_capacity(max_len + 1);
+    for i in 0..=max_len {
+        out.push(counter.current_count());
+        if i != max_len {
+            counter.step();
+        }
+    }
+    out
+}
+
+/// Exact accepting-path counts with saturation at `u128::MAX` (useful for
+/// tests on small automata).
+pub fn path_counts_exact(nfa: &Nfa, max_len: usize) -> Vec<u128> {
+    let nfa = nfa.remove_eps();
+    let mut vec = vec![0u128; nfa.num_states()];
+    for &s in nfa.starts() {
+        vec[s as usize] = 1;
+    }
+    let mut out = Vec::with_capacity(max_len + 1);
+    for i in 0..=max_len {
+        let mut acc: u128 = 0;
+        for q in nfa.final_states() {
+            acc = acc.saturating_add(vec[q as usize]);
+        }
+        out.push(acc);
+        if i == max_len {
+            break;
+        }
+        let mut next = vec![0u128; nfa.num_states()];
+        for q in 0..nfa.num_states() {
+            let c = vec[q];
+            if c == 0 {
+                continue;
+            }
+            for &(_, r) in nfa.transitions_from(q as StateId) {
+                next[r as usize] = next[r as usize].saturating_add(c);
+            }
+        }
+        vec = next;
+    }
+    out
+}
+
+/// `a * b mod m` exposed for the unambiguity machinery.
+pub fn mulmod(a: u64, b: u64, m: u64) -> u64 {
+    mul_mod(a, b, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Sym;
+
+    fn sigma_star(asize: u32) -> Nfa {
+        let mut n = Nfa::new(asize);
+        let q = n.add_state();
+        n.add_start(q);
+        n.set_final(q, true);
+        for s in 0..asize {
+            n.add_transition(q, Sym(s), q);
+        }
+        n
+    }
+
+    #[test]
+    fn counts_sigma_star() {
+        // Over a 2-letter alphabet: 1, 2, 4, 8, ...
+        let counts = path_counts_exact(&sigma_star(2), 5);
+        assert_eq!(counts, vec![1, 2, 4, 8, 16, 32]);
+        let m = COUNT_PRIMES[0];
+        assert_eq!(
+            path_counts_mod(&sigma_star(2), 5, m),
+            vec![1, 2, 4, 8, 16, 32]
+        );
+    }
+
+    #[test]
+    fn counts_single_word() {
+        let mut n = Nfa::new(2);
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        n.add_start(q0);
+        n.add_transition(q0, Sym(1), q1);
+        n.set_final(q1, true);
+        assert_eq!(path_counts_exact(&n, 3), vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn ambiguous_automaton_counts_paths_not_words() {
+        // Two parallel paths accepting "a": path count 2, word count 1.
+        let mut n = Nfa::new(1);
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        let q2 = n.add_state();
+        n.add_start(q0);
+        n.add_transition(q0, Sym(0), q1);
+        n.add_transition(q0, Sym(0), q2);
+        n.set_final(q1, true);
+        n.set_final(q2, true);
+        assert_eq!(path_counts_exact(&n, 1), vec![0, 2]);
+    }
+
+    #[test]
+    fn streaming_counter_matches_batch() {
+        let n = sigma_star(3).remove_eps();
+        let m = COUNT_PRIMES[1];
+        let mut c = PathCounter::new(&n, m);
+        let batch = path_counts_mod(&sigma_star(3), 6, m);
+        for (i, expected) in batch.iter().enumerate() {
+            assert_eq!(c.current_count(), *expected, "length {i}");
+            c.step();
+        }
+    }
+
+    #[test]
+    fn mulmod_is_modular_multiplication() {
+        let m = COUNT_PRIMES[2];
+        assert_eq!(mulmod(m - 1, m - 1, m), 1); // (-1)² = 1 (mod m)
+        assert_eq!(mulmod(0, 12345, m), 0);
+        assert_eq!(mulmod(2, 3, 5), 1);
+    }
+
+    #[test]
+    fn eps_inputs_are_handled() {
+        let mut n = Nfa::new(1);
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        n.add_start(q0);
+        n.add_eps(q0, q1);
+        n.add_transition(q1, Sym(0), q1);
+        n.set_final(q1, true);
+        assert_eq!(path_counts_exact(&n, 3), vec![1, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Finite-automata substrate for the split-correctness library.
+//!
+//! The decision procedures of *Split-Correctness in Information Extraction*
+//! (PODS 2019) reduce spanner problems to classical automata problems:
+//! reachability, emptiness, containment, and — for the tractable fragments —
+//! containment of **unambiguous** finite automata (Stearns & Hunt 1985),
+//! which underlies the polynomial-time cover-condition test (Lemma 5.6).
+//!
+//! This crate provides those building blocks from scratch over a generic,
+//! dense symbol alphabet:
+//!
+//! * [`Nfa`] — nondeterministic finite automata with ε-transitions,
+//!   construction helpers, trimming, reversal, and products.
+//! * [`Dfa`] — deterministic automata produced by subset construction.
+//! * [`ops`] — language operations: emptiness, membership, containment
+//!   (lazy subset construction), equivalence, union, intersection.
+//! * [`unambiguous`] — unambiguity testing and polynomial-time containment
+//!   for unambiguous automata via accepting-path counting.
+//!
+//! Symbols are dense `u32` identifiers ([`Sym`]); callers intern whatever
+//! alphabet they need (bytes, extended spanner alphabets, pair alphabets).
+
+pub mod counting;
+pub mod dfa;
+pub mod nfa;
+pub mod ops;
+pub mod unambiguous;
+
+pub use dfa::Dfa;
+pub use nfa::{Nfa, StateId, Sym};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,587 @@
+//! Nondeterministic finite automata over a dense symbol alphabet.
+
+use std::collections::VecDeque;
+
+/// A symbol of the (interned) alphabet. Symbols are dense indices
+/// `0..alphabet_size`; the mapping to application-level symbols (bytes,
+/// variable operations, pairs) is maintained by the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The dense index of the symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A state identifier, dense in `0..num_states`.
+pub type StateId = u32;
+
+/// A nondeterministic finite automaton with ε-transitions.
+///
+/// States are dense `u32` ids. Multiple start states are allowed (this is
+/// convenient for products and reversals). Transitions are stored as
+/// per-state adjacency lists.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    alphabet_size: u32,
+    /// `trans[q]` lists `(symbol, target)` pairs.
+    trans: Vec<Vec<(Sym, StateId)>>,
+    /// `eps[q]` lists ε-successors of `q`.
+    eps: Vec<Vec<StateId>>,
+    starts: Vec<StateId>,
+    finals: Vec<bool>,
+}
+
+impl Nfa {
+    /// Creates an empty automaton (no states) over an alphabet of the given
+    /// size.
+    pub fn new(alphabet_size: u32) -> Self {
+        Nfa {
+            alphabet_size,
+            trans: Vec::new(),
+            eps: Vec::new(),
+            starts: Vec::new(),
+            finals: Vec::new(),
+        }
+    }
+
+    /// The alphabet size this automaton was constructed over.
+    #[inline]
+    pub fn alphabet_size(&self) -> u32 {
+        self.alphabet_size
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Total number of (symbol and ε) transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.trans.iter().map(Vec::len).sum::<usize>()
+            + self.eps.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Adds a fresh state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        let id = self.trans.len() as StateId;
+        self.trans.push(Vec::new());
+        self.eps.push(Vec::new());
+        self.finals.push(false);
+        id
+    }
+
+    /// Adds `n` fresh states, returning the id of the first.
+    pub fn add_states(&mut self, n: usize) -> StateId {
+        let first = self.trans.len() as StateId;
+        for _ in 0..n {
+            self.add_state();
+        }
+        first
+    }
+
+    /// Marks a state as a start state.
+    pub fn add_start(&mut self, q: StateId) {
+        debug_assert!((q as usize) < self.num_states());
+        if !self.starts.contains(&q) {
+            self.starts.push(q);
+        }
+    }
+
+    /// Marks or unmarks a state as accepting.
+    pub fn set_final(&mut self, q: StateId, is_final: bool) {
+        self.finals[q as usize] = is_final;
+    }
+
+    /// Adds a symbol transition.
+    pub fn add_transition(&mut self, from: StateId, sym: Sym, to: StateId) {
+        debug_assert!(sym.0 < self.alphabet_size, "symbol out of alphabet");
+        self.trans[from as usize].push((sym, to));
+    }
+
+    /// Adds an ε-transition.
+    pub fn add_eps(&mut self, from: StateId, to: StateId) {
+        self.eps[from as usize].push(to);
+    }
+
+    /// Start states.
+    #[inline]
+    pub fn starts(&self) -> &[StateId] {
+        &self.starts
+    }
+
+    /// Whether `q` is accepting.
+    #[inline]
+    pub fn is_final(&self, q: StateId) -> bool {
+        self.finals[q as usize]
+    }
+
+    /// Iterator over accepting states.
+    pub fn final_states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.finals
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| **f)
+            .map(|(q, _)| q as StateId)
+    }
+
+    /// Symbol transitions leaving `q`.
+    #[inline]
+    pub fn transitions_from(&self, q: StateId) -> &[(Sym, StateId)] {
+        &self.trans[q as usize]
+    }
+
+    /// ε-transitions leaving `q`.
+    #[inline]
+    pub fn eps_from(&self, q: StateId) -> &[StateId] {
+        &self.eps[q as usize]
+    }
+
+    /// Whether the automaton has any ε-transition.
+    pub fn has_eps(&self) -> bool {
+        self.eps.iter().any(|v| !v.is_empty())
+    }
+
+    /// Computes the ε-closure of a set of states (sorted, deduplicated).
+    pub fn eps_closure(&self, set: &[StateId]) -> Vec<StateId> {
+        let mut seen = vec![false; self.num_states()];
+        let mut stack: Vec<StateId> = Vec::with_capacity(set.len());
+        for &q in set {
+            if !seen[q as usize] {
+                seen[q as usize] = true;
+                stack.push(q);
+            }
+        }
+        let mut out = stack.clone();
+        while let Some(q) = stack.pop() {
+            for &r in self.eps_from(q) {
+                if !seen[r as usize] {
+                    seen[r as usize] = true;
+                    stack.push(r);
+                    out.push(r);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Returns an equivalent automaton without ε-transitions.
+    ///
+    /// Classic closure-based elimination: each state gets the symbol
+    /// transitions of its ε-closure, and becomes accepting if its closure
+    /// contains an accepting state.
+    ///
+    /// The result's transition lists are sorted and deduplicated, so this
+    /// also serves as a normalization pass (parallel duplicate edges are
+    /// collapsed — relevant for run counting and unambiguity analysis).
+    pub fn remove_eps(&self) -> Nfa {
+        let mut out = Nfa::new(self.alphabet_size);
+        out.add_states(self.num_states());
+        for q in 0..self.num_states() as StateId {
+            let closure = self.eps_closure(&[q]);
+            let mut fin = false;
+            let mut edges: Vec<(Sym, StateId)> = Vec::new();
+            for &c in &closure {
+                fin |= self.is_final(c);
+                edges.extend_from_slice(self.transitions_from(c));
+            }
+            edges.sort_unstable();
+            edges.dedup();
+            out.trans[q as usize] = edges;
+            out.finals[q as usize] = fin;
+        }
+        for &s in &self.starts {
+            out.add_start(s);
+        }
+        out
+    }
+
+    /// States reachable from the start states (forward, through both symbol
+    /// and ε edges).
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.num_states()];
+        let mut queue: VecDeque<StateId> = VecDeque::new();
+        for &s in &self.starts {
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                queue.push_back(s);
+            }
+        }
+        while let Some(q) = queue.pop_front() {
+            for &(_, r) in self.transitions_from(q) {
+                if !seen[r as usize] {
+                    seen[r as usize] = true;
+                    queue.push_back(r);
+                }
+            }
+            for &r in self.eps_from(q) {
+                if !seen[r as usize] {
+                    seen[r as usize] = true;
+                    queue.push_back(r);
+                }
+            }
+        }
+        seen
+    }
+
+    /// States from which an accepting state is reachable (backward).
+    pub fn co_reachable(&self) -> Vec<bool> {
+        // Build reverse adjacency.
+        let n = self.num_states();
+        let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        for q in 0..n {
+            for &(_, r) in &self.trans[q] {
+                rev[r as usize].push(q as StateId);
+            }
+            for &r in &self.eps[q] {
+                rev[r as usize].push(q as StateId);
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut queue: VecDeque<StateId> = VecDeque::new();
+        for q in 0..n {
+            if self.finals[q] {
+                seen[q] = true;
+                queue.push_back(q as StateId);
+            }
+        }
+        while let Some(q) = queue.pop_front() {
+            for &r in &rev[q as usize] {
+                if !seen[r as usize] {
+                    seen[r as usize] = true;
+                    queue.push_back(r);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Removes states that are not both reachable and co-reachable,
+    /// compacting state ids. The result accepts the same language.
+    pub fn trim(&self) -> Nfa {
+        let reach = self.reachable();
+        let co = self.co_reachable();
+        let keep: Vec<bool> = reach.iter().zip(co.iter()).map(|(a, b)| *a && *b).collect();
+        let mut remap: Vec<Option<StateId>> = vec![None; self.num_states()];
+        let mut out = Nfa::new(self.alphabet_size);
+        for (q, &k) in keep.iter().enumerate() {
+            if k {
+                remap[q] = Some(out.add_state());
+            }
+        }
+        for (q, &k) in keep.iter().enumerate() {
+            if !k {
+                continue;
+            }
+            let nq = remap[q].unwrap();
+            out.finals[nq as usize] = self.finals[q];
+            for &(s, r) in &self.trans[q] {
+                if let Some(nr) = remap[r as usize] {
+                    out.trans[nq as usize].push((s, nr));
+                }
+            }
+            for &r in &self.eps[q] {
+                if let Some(nr) = remap[r as usize] {
+                    out.eps[nq as usize].push(nr);
+                }
+            }
+        }
+        for &s in &self.starts {
+            if let Some(ns) = remap[s as usize] {
+                out.add_start(ns);
+            }
+        }
+        out
+    }
+
+    /// The reversal of the automaton: accepts the mirror language.
+    pub fn reverse(&self) -> Nfa {
+        let mut out = Nfa::new(self.alphabet_size);
+        out.add_states(self.num_states());
+        for q in 0..self.num_states() {
+            for &(s, r) in &self.trans[q] {
+                out.add_transition(r, s, q as StateId);
+            }
+            for &r in &self.eps[q] {
+                out.add_eps(r, q as StateId);
+            }
+        }
+        for q in self.final_states() {
+            out.add_start(q);
+        }
+        for &s in &self.starts {
+            out.set_final(s, true);
+        }
+        out
+    }
+
+    /// Product automaton accepting the intersection of the two languages.
+    ///
+    /// Both automata must be ε-free (call [`Nfa::remove_eps`] first); this
+    /// is asserted in debug builds.
+    pub fn intersect(&self, other: &Nfa) -> Nfa {
+        debug_assert!(!self.has_eps() && !other.has_eps());
+        debug_assert_eq!(self.alphabet_size, other.alphabet_size);
+        product(self, other, |f1, f2| f1 && f2)
+    }
+
+    /// Disjoint-union automaton accepting the union of the two languages.
+    pub fn union(&self, other: &Nfa) -> Nfa {
+        debug_assert_eq!(self.alphabet_size, other.alphabet_size);
+        let mut out = self.clone();
+        let off = out.num_states() as StateId;
+        out.add_states(other.num_states());
+        for q in 0..other.num_states() {
+            let nq = off + q as StateId;
+            out.finals[nq as usize] = other.finals[q];
+            for &(s, r) in &other.trans[q] {
+                out.trans[nq as usize].push((s, off + r));
+            }
+            for &r in &other.eps[q] {
+                out.eps[nq as usize].push(off + r);
+            }
+        }
+        for &s in &other.starts {
+            out.add_start(off + s);
+        }
+        out
+    }
+
+    /// Whether the automaton accepts the given word.
+    pub fn accepts(&self, word: &[Sym]) -> bool {
+        let mut cur = self.eps_closure(&self.starts.clone());
+        for &sym in word {
+            let mut next: Vec<StateId> = Vec::new();
+            for &q in &cur {
+                for &(s, r) in self.transitions_from(q) {
+                    if s == sym {
+                        next.push(r);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            if next.is_empty() {
+                return false;
+            }
+            cur = self.eps_closure(&next);
+        }
+        cur.iter().any(|&q| self.is_final(q))
+    }
+
+    /// Whether the language is empty.
+    pub fn is_empty(&self) -> bool {
+        let reach = self.reachable();
+        !self.finals.iter().enumerate().any(|(q, &f)| f && reach[q])
+    }
+
+    /// Enumerates up to `limit` accepted words in length-lexicographic
+    /// order, exploring words up to length `max_len`. Intended for tests and
+    /// counterexample reporting.
+    pub fn enumerate_words(&self, max_len: usize, limit: usize) -> Vec<Vec<Sym>> {
+        let nfa = self.remove_eps();
+        let mut out = Vec::new();
+        let start = nfa.eps_closure(&nfa.starts.clone());
+        let mut layer: Vec<(Vec<Sym>, Vec<StateId>)> = vec![(Vec::new(), start)];
+        for len in 0..=max_len {
+            for (w, states) in &layer {
+                if states.iter().any(|&q| nfa.is_final(q)) {
+                    out.push(w.clone());
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+            if len == max_len {
+                break;
+            }
+            let mut next_layer: Vec<(Vec<Sym>, Vec<StateId>)> = Vec::new();
+            for (w, states) in &layer {
+                for sym in 0..nfa.alphabet_size {
+                    let sym = Sym(sym);
+                    let mut next: Vec<StateId> = Vec::new();
+                    for &q in states {
+                        for &(s, r) in nfa.transitions_from(q) {
+                            if s == sym {
+                                next.push(r);
+                            }
+                        }
+                    }
+                    next.sort_unstable();
+                    next.dedup();
+                    if !next.is_empty() {
+                        let mut w2 = w.clone();
+                        w2.push(sym);
+                        next_layer.push((w2, next));
+                    }
+                }
+            }
+            layer = next_layer;
+        }
+        out
+    }
+}
+
+/// Generic product of two ε-free NFAs with a configurable acceptance
+/// combination (e.g. `&&` for intersection, `|q1| f1 && !f2` patterns are
+/// *not* sound on NFAs — use determinization for complements).
+pub(crate) fn product(a: &Nfa, b: &Nfa, accept: impl Fn(bool, bool) -> bool) -> Nfa {
+    use std::collections::HashMap;
+    let mut out = Nfa::new(a.alphabet_size);
+    let mut map: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
+    for &s1 in a.starts() {
+        for &s2 in b.starts() {
+            let id = *map.entry((s1, s2)).or_insert_with(|| {
+                queue.push_back((s1, s2));
+                out.add_state()
+            });
+            out.add_start(id);
+        }
+    }
+    while let Some((q1, q2)) = queue.pop_front() {
+        let id = map[&(q1, q2)];
+        out.finals[id as usize] = accept(a.is_final(q1), b.is_final(q2));
+        for &(s, r1) in a.transitions_from(q1) {
+            for &(s2, r2) in b.transitions_from(q2) {
+                if s == s2 {
+                    let rid = *map.entry((r1, r2)).or_insert_with(|| {
+                        queue.push_back((r1, r2));
+                        out.add_state()
+                    });
+                    out.add_transition(id, s, rid);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab_star_a() -> Nfa {
+        // (a|b)* a  over {a=0, b=1}
+        let mut n = Nfa::new(2);
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        n.add_start(q0);
+        n.set_final(q1, true);
+        n.add_transition(q0, Sym(0), q0);
+        n.add_transition(q0, Sym(1), q0);
+        n.add_transition(q0, Sym(0), q1);
+        n
+    }
+
+    #[test]
+    fn accepts_basic() {
+        let n = ab_star_a();
+        assert!(n.accepts(&[Sym(0)]));
+        assert!(n.accepts(&[Sym(1), Sym(0)]));
+        assert!(!n.accepts(&[]));
+        assert!(!n.accepts(&[Sym(1)]));
+    }
+
+    #[test]
+    fn eps_closure_and_removal() {
+        let mut n = Nfa::new(1);
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        let q2 = n.add_state();
+        n.add_start(q0);
+        n.add_eps(q0, q1);
+        n.add_eps(q1, q2);
+        n.add_transition(q2, Sym(0), q2);
+        n.set_final(q2, true);
+        assert_eq!(n.eps_closure(&[q0]), vec![0, 1, 2]);
+        let m = n.remove_eps();
+        assert!(!m.has_eps());
+        assert!(m.accepts(&[]));
+        assert!(m.accepts(&[Sym(0), Sym(0)]));
+    }
+
+    #[test]
+    fn trim_removes_dead_states() {
+        let mut n = ab_star_a();
+        let dead = n.add_state();
+        n.add_transition(0, Sym(1), dead); // dead end
+        let t = n.trim();
+        assert_eq!(t.num_states(), 2);
+        assert!(t.accepts(&[Sym(1), Sym(0)]));
+    }
+
+    #[test]
+    fn reverse_reverses() {
+        let n = ab_star_a(); // words ending in a
+        let r = n.reverse(); // words starting with a
+        assert!(r.accepts(&[Sym(0), Sym(1)]));
+        assert!(!r.accepts(&[Sym(1), Sym(0)]));
+    }
+
+    #[test]
+    fn intersect_works() {
+        let ends_a = ab_star_a();
+        // words starting with a
+        let starts_a = ab_star_a().reverse().reverse(); // same language? no — build directly
+        let mut s = Nfa::new(2);
+        let p0 = s.add_state();
+        let p1 = s.add_state();
+        s.add_start(p0);
+        s.set_final(p1, true);
+        s.add_transition(p0, Sym(0), p1);
+        s.add_transition(p1, Sym(0), p1);
+        s.add_transition(p1, Sym(1), p1);
+        let both = ends_a.remove_eps().intersect(&s.remove_eps());
+        assert!(both.accepts(&[Sym(0)]));
+        assert!(both.accepts(&[Sym(0), Sym(1), Sym(0)]));
+        assert!(!both.accepts(&[Sym(1), Sym(0)]));
+        assert!(!both.accepts(&[Sym(0), Sym(1)]));
+        let _ = starts_a;
+    }
+
+    #[test]
+    fn union_works() {
+        let mut a = Nfa::new(2);
+        let q = a.add_state();
+        let f = a.add_state();
+        a.add_start(q);
+        a.set_final(f, true);
+        a.add_transition(q, Sym(0), f);
+        let mut b = Nfa::new(2);
+        let q = b.add_state();
+        let f = b.add_state();
+        b.add_start(q);
+        b.set_final(f, true);
+        b.add_transition(q, Sym(1), f);
+        let u = a.union(&b);
+        assert!(u.accepts(&[Sym(0)]));
+        assert!(u.accepts(&[Sym(1)]));
+        assert!(!u.accepts(&[Sym(0), Sym(1)]));
+    }
+
+    #[test]
+    fn enumerate_words_orders_by_length() {
+        let n = ab_star_a();
+        let words = n.enumerate_words(2, 10);
+        assert_eq!(
+            words,
+            vec![vec![Sym(0)], vec![Sym(0), Sym(0)], vec![Sym(1), Sym(0)]]
+        );
+    }
+
+    #[test]
+    fn empty_language() {
+        let mut n = Nfa::new(1);
+        let q = n.add_state();
+        n.add_start(q);
+        assert!(n.is_empty());
+        n.set_final(q, true);
+        assert!(!n.is_empty());
+    }
+}

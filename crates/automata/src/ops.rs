@@ -1,0 +1,256 @@
+//! Language-level operations: containment, equivalence, counterexamples.
+//!
+//! Containment `L(A) ⊆ L(B)` is decided by a *lazy* subset construction on
+//! `B` synchronized with a traversal of `A`: we explore reachable pairs
+//! `(q, T)` of an `A`-state and a `B`-subset and fail as soon as an
+//! accepting `q` is paired with a non-accepting `T`. When `B` is
+//! deterministic the subsets stay singletons and the procedure runs in
+//! time `O(|A|·|B|)` — this degeneration is exactly the paper's NL
+//! containment algorithm for deterministic functional VSet-automata
+//! (Theorem 4.3). For nondeterministic `B` it is the standard PSPACE
+//! procedure (Theorem 4.1).
+
+use crate::nfa::{Nfa, StateId, Sym};
+use std::collections::{HashMap, VecDeque};
+
+/// Outcome of a containment check: either contained, or a counterexample
+/// word accepted by the left automaton and rejected by the right one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Containment {
+    /// `L(A) ⊆ L(B)` holds.
+    Contained,
+    /// A witness word in `L(A) \ L(B)`.
+    Counterexample(Vec<Sym>),
+}
+
+impl Containment {
+    /// True iff containment holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, Containment::Contained)
+    }
+}
+
+/// Decides `L(a) ⊆ L(b)` and produces a shortest-by-construction
+/// counterexample on failure (BFS order).
+pub fn contains(a: &Nfa, b: &Nfa) -> Containment {
+    debug_assert_eq!(a.alphabet_size(), b.alphabet_size());
+    let a = a.remove_eps();
+    let b = b.remove_eps();
+
+    let mut a_starts: Vec<StateId> = a.starts().to_vec();
+    a_starts.sort_unstable();
+    a_starts.dedup();
+    let mut b_start: Vec<StateId> = b.starts().to_vec();
+    b_start.sort_unstable();
+    b_start.dedup();
+
+    // Intern B-subsets.
+    let mut subset_ids: HashMap<Vec<StateId>, u32> = HashMap::new();
+    let mut subsets: Vec<Vec<StateId>> = Vec::new();
+    let mut subset_final: Vec<bool> = Vec::new();
+    let mut intern =
+        |set: Vec<StateId>, subsets: &mut Vec<Vec<StateId>>, subset_final: &mut Vec<bool>| -> u32 {
+            if let Some(&id) = subset_ids.get(&set) {
+                return id;
+            }
+            let id = subsets.len() as u32;
+            subset_final.push(set.iter().any(|&q| b.is_final(q)));
+            subset_ids.insert(set.clone(), id);
+            subsets.push(set);
+            id
+        };
+
+    let b0 = intern(b_start, &mut subsets, &mut subset_final);
+
+    // BFS over (A-state, B-subset) pairs, remembering parents for
+    // counterexample reconstruction.
+    let mut seen: HashMap<(StateId, u32), usize> = HashMap::new();
+    let mut parents: Vec<(Option<(usize, Sym)>, StateId, u32)> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    for &qa in &a_starts {
+        let key = (qa, b0);
+        if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(key) {
+            let node = parents.len();
+            parents.push((None, qa, b0));
+            e.insert(node);
+            queue.push_back(node);
+        }
+    }
+
+    let reconstruct = |parents: &Vec<(Option<(usize, Sym)>, StateId, u32)>, mut node: usize| {
+        let mut word: Vec<Sym> = Vec::new();
+        while let (Some((p, s)), _, _) = parents[node] {
+            word.push(s);
+            node = p;
+        }
+        word.reverse();
+        word
+    };
+
+    while let Some(node) = queue.pop_front() {
+        let (_, qa, tb) = parents[node];
+        if a.is_final(qa) && !subset_final[tb as usize] {
+            return Containment::Counterexample(reconstruct(&parents, node));
+        }
+        // Successor B-subsets per symbol actually used by A from qa.
+        let mut by_sym: HashMap<Sym, Vec<StateId>> = HashMap::new();
+        for &(s, ra) in a.transitions_from(qa) {
+            by_sym.entry(s).or_default().push(ra);
+        }
+        for (s, ra_list) in by_sym {
+            let mut succ_b: Vec<StateId> = Vec::new();
+            for &qb in &subsets[tb as usize] {
+                for &(s2, rb) in b.transitions_from(qb) {
+                    if s2 == s {
+                        succ_b.push(rb);
+                    }
+                }
+            }
+            succ_b.sort_unstable();
+            succ_b.dedup();
+            let tb2 = intern(succ_b, &mut subsets, &mut subset_final);
+            for &ra in &ra_list {
+                let key = (ra, tb2);
+                if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(key) {
+                    let nnode = parents.len();
+                    parents.push((Some((node, s)), ra, tb2));
+                    e.insert(nnode);
+                    queue.push_back(nnode);
+                }
+            }
+        }
+    }
+    Containment::Contained
+}
+
+/// Decides language equivalence; on failure reports which side has the
+/// witness word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Equivalence {
+    /// The languages are equal.
+    Equivalent,
+    /// Word accepted by the left automaton only.
+    LeftOnly(Vec<Sym>),
+    /// Word accepted by the right automaton only.
+    RightOnly(Vec<Sym>),
+}
+
+impl Equivalence {
+    /// True iff the languages are equal.
+    pub fn holds(&self) -> bool {
+        matches!(self, Equivalence::Equivalent)
+    }
+}
+
+/// Decides `L(a) = L(b)`.
+pub fn equivalent(a: &Nfa, b: &Nfa) -> Equivalence {
+    match contains(a, b) {
+        Containment::Counterexample(w) => Equivalence::LeftOnly(w),
+        Containment::Contained => match contains(b, a) {
+            Containment::Counterexample(w) => Equivalence::RightOnly(w),
+            Containment::Contained => Equivalence::Equivalent,
+        },
+    }
+}
+
+/// Whether the automaton accepts every word over its alphabet
+/// (universality; PSPACE-complete in general — used by tests and by the
+/// hardness-family generators in the bench crate).
+pub fn universal(a: &Nfa) -> Containment {
+    let mut sigma_star = Nfa::new(a.alphabet_size());
+    let q = sigma_star.add_state();
+    sigma_star.add_start(q);
+    sigma_star.set_final(q, true);
+    for s in 0..a.alphabet_size() {
+        sigma_star.add_transition(q, Sym(s), q);
+    }
+    contains(&sigma_star, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word_nfa(asize: u32, w: &[u32]) -> Nfa {
+        let mut n = Nfa::new(asize);
+        let mut q = n.add_state();
+        n.add_start(q);
+        for &c in w {
+            let r = n.add_state();
+            n.add_transition(q, Sym(c), r);
+            q = r;
+        }
+        n.set_final(q, true);
+        n
+    }
+
+    fn sigma_star(asize: u32) -> Nfa {
+        let mut n = Nfa::new(asize);
+        let q = n.add_state();
+        n.add_start(q);
+        n.set_final(q, true);
+        for s in 0..asize {
+            n.add_transition(q, Sym(s), q);
+        }
+        n
+    }
+
+    #[test]
+    fn word_in_sigma_star() {
+        let w = word_nfa(2, &[0, 1, 0]);
+        assert!(contains(&w, &sigma_star(2)).holds());
+        assert_eq!(
+            contains(&sigma_star(2), &w),
+            Containment::Counterexample(vec![]) // empty word not in {aba}
+        );
+    }
+
+    #[test]
+    fn equivalence_direction() {
+        let a = word_nfa(2, &[0]);
+        let b = word_nfa(2, &[1]);
+        match equivalent(&a, &b) {
+            Equivalence::LeftOnly(w) => assert_eq!(w, vec![Sym(0)]),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(equivalent(&a, &word_nfa(2, &[0])).holds());
+    }
+
+    #[test]
+    fn universality() {
+        assert!(universal(&sigma_star(3)).holds());
+        let w = word_nfa(2, &[0]);
+        assert!(!universal(&w).holds());
+    }
+
+    #[test]
+    fn counterexample_is_shortest() {
+        // A = {a, aa}; B = {aa}. Shortest counterexample is "a".
+        let mut a = word_nfa(1, &[0]);
+        let f2 = a.add_state();
+        a.add_transition(1, Sym(0), f2);
+        a.set_final(f2, true);
+        let b = word_nfa(1, &[0, 0]);
+        match contains(&a, &b) {
+            Containment::Counterexample(w) => assert_eq!(w.len(), 1),
+            _ => panic!("should not be contained"),
+        }
+    }
+
+    #[test]
+    fn containment_with_eps_inputs() {
+        let mut a = Nfa::new(2);
+        let q0 = a.add_state();
+        let q1 = a.add_state();
+        a.add_start(q0);
+        a.add_eps(q0, q1);
+        a.set_final(q1, true);
+        a.add_transition(q1, Sym(0), q1);
+        // L(a) = a*
+        let mut b = sigma_star(2);
+        assert!(contains(&a, &b).holds());
+        b = word_nfa(2, &[0]);
+        assert!(!contains(&a, &b).holds());
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the automata substrate.
+
+use crate::dfa::Dfa;
+use crate::nfa::{Nfa, Sym};
+use crate::ops::{contains, equivalent, Containment};
+use crate::unambiguous::{is_unambiguous, ufa_contains};
+use proptest::prelude::*;
+
+/// A compact description of a random NFA for proptest shrinking.
+#[derive(Debug, Clone)]
+struct RandNfa {
+    asize: u32,
+    states: usize,
+    edges: Vec<(u32, u32, u32)>, // (from, sym, to)
+    finals: Vec<u32>,
+}
+
+impl RandNfa {
+    fn build(&self) -> Nfa {
+        let mut n = Nfa::new(self.asize);
+        n.add_states(self.states);
+        n.add_start(0);
+        for &(f, s, t) in &self.edges {
+            n.add_transition(
+                f % self.states as u32,
+                Sym(s % self.asize),
+                t % self.states as u32,
+            );
+        }
+        for &f in &self.finals {
+            n.set_final(f % self.states as u32, true);
+        }
+        n
+    }
+}
+
+fn rand_nfa(max_states: usize, asize: u32) -> impl Strategy<Value = RandNfa> {
+    (2..=max_states).prop_flat_map(move |states| {
+        (
+            proptest::collection::vec((0u32..16, 0u32..8, 0u32..16), 0..20),
+            proptest::collection::vec(0u32..16, 1..4),
+        )
+            .prop_map(move |(edges, finals)| RandNfa {
+                asize,
+                states,
+                edges,
+                finals,
+            })
+    })
+}
+
+/// Brute-force check whether every word of length <= max_len accepted by a
+/// is accepted by b.
+fn brute_contained(a: &Nfa, b: &Nfa, max_len: usize) -> Option<Vec<Sym>> {
+    for w in a.enumerate_words(max_len, usize::MAX) {
+        if !b.accepts(&w) {
+            return Some(w);
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn containment_agrees_with_bruteforce(
+        ra in rand_nfa(6, 2),
+        rb in rand_nfa(6, 2),
+    ) {
+        let a = ra.build();
+        let b = rb.build();
+        let res = contains(&a, &b);
+        // Pumping bound: |A| * 2^|B| suffices, but short words catch real
+        // discrepancies; rely on the counterexample check below for
+        // soundness of the Contained verdict on bounded words.
+        match &res {
+            Containment::Contained => {
+                prop_assert!(brute_contained(&a, &b, 6).is_none());
+            }
+            Containment::Counterexample(w) => {
+                prop_assert!(a.accepts(w));
+                prop_assert!(!b.accepts(w));
+            }
+        }
+    }
+
+    #[test]
+    fn determinization_preserves_language(ra in rand_nfa(6, 2)) {
+        let a = ra.build();
+        let d = Dfa::determinize(&a);
+        for len in 0..=5usize {
+            for wi in 0..(1u32 << len) {
+                let w: Vec<Sym> = (0..len).map(|i| Sym((wi >> i) & 1)).collect();
+                prop_assert_eq!(a.accepts(&w), d.accepts(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn trim_preserves_language(ra in rand_nfa(6, 2)) {
+        let a = ra.build();
+        let t = a.trim();
+        prop_assert!(equivalent(&a, &t).holds());
+    }
+
+    #[test]
+    fn reverse_is_involution(ra in rand_nfa(5, 2)) {
+        let a = ra.build();
+        let rr = a.reverse().reverse();
+        prop_assert!(equivalent(&a, &rr).holds());
+    }
+
+    #[test]
+    fn ufa_containment_agrees_when_unambiguous(
+        ra in rand_nfa(5, 2),
+        rb in rand_nfa(5, 2),
+    ) {
+        let a = ra.build();
+        let b = rb.build();
+        if is_unambiguous(&a) && is_unambiguous(&b) {
+            let fast = ufa_contains(&a, &b).unwrap();
+            let slow = contains(&a, &b).holds();
+            prop_assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn union_accepts_both(ra in rand_nfa(5, 2), rb in rand_nfa(5, 2)) {
+        let a = ra.build();
+        let b = rb.build();
+        let u = a.union(&b);
+        prop_assert!(contains(&a, &u).holds());
+        prop_assert!(contains(&b, &u).holds());
+        // And nothing more.
+        for w in u.enumerate_words(5, 200) {
+            prop_assert!(a.accepts(&w) || b.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn intersection_is_conjunction(ra in rand_nfa(5, 2), rb in rand_nfa(5, 2)) {
+        let a = ra.build().remove_eps();
+        let b = rb.build().remove_eps();
+        let i = a.intersect(&b);
+        for len in 0..=5usize {
+            for wi in 0..(1u32 << len) {
+                let w: Vec<Sym> = (0..len).map(|k| Sym((wi >> k) & 1)).collect();
+                prop_assert_eq!(i.accepts(&w), a.accepts(&w) && b.accepts(&w));
+            }
+        }
+    }
+}

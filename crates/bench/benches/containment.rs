@@ -1,0 +1,37 @@
+//! Criterion microbenchmarks for containment (supports T1): dfVSA
+//! containment (polynomial, Thm 4.3) vs the exponential union
+//! universality gadget (Thm 4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use splitc_automata::ops;
+use splitc_bench::families::{chain_extractor, mod_prime_union_nfa, unary_sigma_star};
+use splitc_spanner::spanner_contains;
+
+fn bench_dfvsa_containment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dfvsa_containment");
+    group.sample_size(10);
+    for k in [8usize, 32, 128] {
+        let a = chain_extractor(k).determinize();
+        let b = chain_extractor(k).determinize();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| spanner_contains(&a, &b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_union_universality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("union_universality");
+    group.sample_size(10);
+    for n in [2usize, 3, 4] {
+        let union = mod_prime_union_nfa(n);
+        let sigma = unary_sigma_star();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| ops::contains(&sigma, &union))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dfvsa_containment, bench_union_universality);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion microbenchmarks for the decision procedures (supports
+//! T2/T5/T6): self-splittability fast path vs general procedure, and
+//! the disjointness check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use splitc_bench::families::chain_extractor;
+use splitc_core::{self_splittable, self_splittable_df};
+use splitc_spanner::splitter;
+
+fn bench_self_splittability(c: &mut Criterion) {
+    let s = splitter::sentences();
+    let sd = s.determinize();
+    let mut group = c.benchmark_group("self_splittability");
+    group.sample_size(10);
+    for k in [4usize, 16] {
+        let p = chain_extractor(k);
+        let pd = p.determinize();
+        group.bench_with_input(BenchmarkId::new("general", k), &k, |b, _| {
+            b.iter(|| self_splittable(&p, &s).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("df_fast_path", k), &k, |b, _| {
+            b.iter(|| self_splittable_df(&pd, &sd).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_disjointness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disjointness");
+    group.sample_size(10);
+    for (name, s) in [
+        ("sentences", splitter::sentences()),
+        ("ngrams3", splitter::ngrams(3)),
+        ("paragraphs", splitter::paragraphs()),
+    ] {
+        group.bench_function(name, |b| b.iter(|| s.is_disjoint()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_self_splittability, bench_disjointness);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! T3 — Theorem 5.1: general split-correctness is PSPACE-complete; the
+//! reduction embeds DFA-union universality into a `P = P_S ∘ S` check.
+//! The measured curve shows the exponential growth on the paper's own
+//! gadget family.
+
+use splitc_bench::families::{theorem_5_1_gadget, PRIMES};
+use splitc_bench::{ms, time_best, Table};
+use splitc_core::cover_condition;
+
+fn main() {
+    let mut t = Table::new(
+        "T3 — Thm 5.1/5.4 gadget: cover condition ≅ union universality",
+        &["n", "lcm(p)", "cover holds", "time ms"],
+    );
+    for n in 1..=4usize {
+        let (p, _ps, s) = theorem_5_1_gadget(n);
+        // The cover condition of (P, S) encodes the universality of the
+        // union of the A_i (Lemma 5.4's reduction): it fails because
+        // b^lcm is in no A_i.
+        let (verdict, d) = time_best(1, || cover_condition(&p, &s));
+        let lcm: usize = PRIMES[..n].iter().product();
+        t.row(&[
+            n.to_string(),
+            lcm.to_string(),
+            format!("{}", matches!(verdict, splitc_core::Verdict::Holds)),
+            ms(d),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nShape check: time grows with lcm(p₁..pₙ) — exponential in the\n\
+         input size — matching PSPACE-hardness (Thm 5.1, Lemma 5.4)."
+    );
+}

@@ -1,0 +1,29 @@
+//! T6 — Lemma 5.6: the cover condition for deterministic functional
+//! automata with a disjoint splitter is decidable in polynomial time
+//! (unambiguous-automaton containment via path counting). Measured
+//! against the general (PSPACE) check on the same instances.
+
+use splitc_bench::families::chain_extractor;
+use splitc_bench::{ms, time_best, Table};
+use splitc_core::{cover_condition, cover_condition_df};
+use splitc_spanner::splitter;
+
+fn main() {
+    let s = splitter::sentences();
+    let sd = s.determinize();
+    let mut t = Table::new(
+        "T6 — cover condition: general (Lemma 5.4) vs PTIME (Lemma 5.6)",
+        &["chain k", "general ms", "fast ms", "holds"],
+    );
+    for k in [2usize, 4, 8, 16, 32] {
+        let p = chain_extractor(k);
+        let pd = p.determinize();
+        let (vg, dg) = time_best(3, || cover_condition(&p, &s));
+        let (vf, df) = time_best(3, || cover_condition_df(&pd, &sd).unwrap());
+        let hg = matches!(vg, splitc_core::Verdict::Holds);
+        let hf = matches!(vf, splitc_core::Verdict::Holds);
+        assert_eq!(hg, hf, "cover procedures must agree");
+        t.row(&[k.to_string(), ms(dg), ms(df), hg.to_string()]);
+    }
+    t.print();
+}

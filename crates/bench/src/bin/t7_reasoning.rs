@@ -1,0 +1,45 @@
+//! T7 — §6: splitter commutativity (Thm 6.2) and subsumption (Thm 6.3)
+//! as query-planning primitives, measured over the built-in splitter
+//! library.
+
+use splitc_bench::{ms, time_best, Table};
+use splitc_core::reasoning::{commute, subsumes};
+use splitc_spanner::splitter;
+
+fn main() {
+    let sentences = splitter::sentences();
+    let lines = splitter::lines();
+    let paragraphs = splitter::paragraphs();
+    let whole = splitter::whole_document();
+
+    let mut t = Table::new(
+        "T7a — commutativity (Thm 6.2)",
+        &["S1", "S2", "commute", "time ms"],
+    );
+    let pairs = [
+        ("sentences", &sentences, "lines", &lines),
+        ("sentences", &sentences, "whole_document", &whole),
+        ("lines", &lines, "paragraphs", &paragraphs),
+    ];
+    for (n1, s1, n2, s2) in pairs {
+        let (v, d) = time_best(1, || commute(s1, s2, None).unwrap());
+        t.row(&[n1.into(), n2.into(), v.holds().to_string(), ms(d)]);
+    }
+    t.print();
+
+    let mut t = Table::new(
+        "T7b — subsumption S = S' ∘ S (Thm 6.3)",
+        &["S", "S'", "subsumes", "time ms"],
+    );
+    let pairs = [
+        ("sentences", &sentences, "sentences", &sentences),
+        ("sentences", &sentences, "paragraphs", &paragraphs),
+        ("lines", &lines, "paragraphs", &paragraphs),
+        ("whole_document", &whole, "whole_document", &whole),
+    ];
+    for (n1, s1, n2, s2) in pairs {
+        let (v, d) = time_best(1, || subsumes(s1, s2, None).unwrap());
+        t.row(&[n1.into(), n2.into(), v.holds().to_string(), ms(d)]);
+    }
+    t.print();
+}

@@ -1,0 +1,72 @@
+//! T8 — paper §1: incremental maintenance. After a minor edit only the
+//! touched segments are reprocessed. Measures full re-evaluation vs
+//! cached incremental evaluation over a sequence of random edits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use splitc_bench::{ms, scaled, time, x, Table};
+use splitc_exec::{ExecSpanner, IncrementalRunner, SplitFn};
+use splitc_spanner::splitter::native;
+use splitc_textgen::{spanners, wiki_corpus, CorpusConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let bytes = scaled(2 << 20);
+    let cfg = CorpusConfig {
+        target_bytes: bytes,
+        ..Default::default()
+    };
+    let mut doc = wiki_corpus(&cfg);
+    println!(
+        "T8: incremental maintenance over a {:.1} MiB corpus, 50 random edits",
+        bytes as f64 / (1 << 20) as f64
+    );
+
+    let spanner = ExecSpanner::compile(&spanners::entity_extractor());
+    let runner = IncrementalRunner::new(spanner.clone(), Arc::new(native::sentences) as SplitFn);
+
+    // Cold pass fills the cache.
+    let (_, cold) = time(|| runner.eval(&doc));
+    let cold_stats = runner.stats();
+
+    let mut rng = StdRng::seed_from_u64(0xED17);
+    let mut incr_total = Duration::ZERO;
+    let mut full_total = Duration::ZERO;
+    let mut recomputed = 0usize;
+    let edits = 50;
+    for _ in 0..edits {
+        let pos = rng.gen_range(0..doc.len());
+        let b = doc[pos];
+        doc[pos] = if b.is_ascii_lowercase() { b'z' } else { b };
+        let before = runner.stats().misses;
+        let (incr_rel, t_incr) = time(|| runner.eval(&doc));
+        incr_total += t_incr;
+        recomputed += runner.stats().misses - before;
+        let (full_rel, t_full) = time(|| spanner.eval(&doc));
+        full_total += t_full;
+        assert_eq!(incr_rel, full_rel, "incremental result must be exact");
+    }
+
+    let mut t = Table::new(
+        "T8 — incremental vs full re-evaluation",
+        &["metric", "value"],
+    );
+    t.row(&["cold pass ms".into(), ms(cold)]);
+    t.row(&[
+        "segments (cold misses)".into(),
+        cold_stats.misses.to_string(),
+    ]);
+    t.row(&["edits".into(), edits.to_string()]);
+    t.row(&[
+        "avg segments recomputed/edit".into(),
+        format!("{:.2}", recomputed as f64 / edits as f64),
+    ]);
+    t.row(&["avg incremental ms/edit".into(), ms(incr_total / edits)]);
+    t.row(&["avg full re-eval ms/edit".into(), ms(full_total / edits)]);
+    t.row(&[
+        "incremental speedup".into(),
+        x(full_total.as_secs_f64() / incr_total.as_secs_f64().max(1e-12)),
+    ]);
+    t.print();
+}

@@ -1,0 +1,153 @@
+//! Parameterized input families for the scaling experiments: the
+//! hardness gadgets from the paper's reductions and benign polynomial
+//! families for the tractable fragments.
+
+use splitc_automata::nfa::{Nfa, Sym};
+use splitc_spanner::rgx::Rgx;
+use splitc_spanner::splitter::Splitter;
+use splitc_spanner::vsa::Vsa;
+
+/// The first `n` primes (enough for every family here).
+pub const PRIMES: [usize; 8] = [2, 3, 5, 7, 11, 13, 17, 19];
+
+/// DFA-union universality gadget (used by Theorems 4.2, 5.1, and 5.4's
+/// hardness proofs): `A_i` accepts the unary words whose length is *not*
+/// divisible by the `i`-th prime. The union of the first `n` automata is
+/// universal iff no length is divisible by all primes — false, with the
+/// shortest counterexample of length `lcm(p_1..p_n)`, so deciding
+/// universality forces the subset construction to explore exponentially
+/// many (in the input size `Σ p_i`) configurations.
+pub fn mod_prime_union_nfa(n: usize) -> Nfa {
+    assert!(n >= 1 && n <= PRIMES.len());
+    let mut nfa = Nfa::new(1);
+    for &p in &PRIMES[..n] {
+        let first = nfa.add_states(p);
+        for i in 0..p {
+            nfa.add_transition(first + i as u32, Sym(0), first + ((i + 1) % p) as u32);
+        }
+        nfa.add_start(first);
+        for i in 1..p {
+            nfa.set_final(first + i as u32, true);
+        }
+    }
+    // Accept ε separately so the shortest missing word is a^lcm, not ε.
+    let eps = nfa.add_state();
+    nfa.add_start(eps);
+    nfa.set_final(eps, true);
+    nfa
+}
+
+/// Σ* over the unary alphabet.
+pub fn unary_sigma_star() -> Nfa {
+    let mut nfa = Nfa::new(1);
+    let q = nfa.add_state();
+    nfa.add_start(q);
+    nfa.set_final(q, true);
+    nfa.add_transition(q, Sym(0), q);
+    nfa
+}
+
+/// A sentence-local chain extractor of size `k`: captures the literal
+/// run `q a^k q` anywhere in the document. Deterministic after
+/// [`Vsa::determinize`]; containment and split-correctness on this
+/// family scale polynomially (Theorems 4.3 / 5.7).
+pub fn chain_extractor(k: usize) -> Vsa {
+    let body = "a".repeat(k);
+    Rgx::parse(&format!(".*q(x{{{body}}})q.*"))
+        .expect("family pattern")
+        .to_vsa()
+        .expect("functional")
+}
+
+/// A union extractor with `n` branches (one per marker letter),
+/// increasing nondeterminism for the general-procedure scaling runs.
+pub fn branching_extractor(n: usize) -> Vsa {
+    assert!((1..=26).contains(&n));
+    let branches: Vec<String> = (0..n)
+        .map(|i| {
+            let c = (b'b' + i as u8) as char;
+            format!(".*{c}(x{{a+}}){c}.*")
+        })
+        .collect();
+    Rgx::parse(&branches.join("|"))
+        .expect("family pattern")
+        .to_vsa()
+        .expect("functional")
+}
+
+/// The Theorem 5.1 hardness shape: `P = a^n · y{Σ*}`,
+/// `S = Σ_i a^i · x{a^{n-i} · A_i}`, `P_S = a* · z{Σ*}` — with the
+/// mod-prime languages as `A_i`. Split-correctness of the triple is
+/// equivalent to the union universality above.
+pub fn theorem_5_1_gadget(n: usize) -> (Vsa, Vsa, Splitter) {
+    assert!(n >= 1 && n <= PRIMES.len());
+    let p = Rgx::parse(&format!("{}(y{{.*}})", "a".repeat(n)))
+        .expect("gadget P")
+        .to_vsa()
+        .expect("functional");
+    // A_i = unary (over 'a') length not divisible by prime_i... we use a
+    // two-letter alphabet {a, b}: A_i = b-runs of length ≢ 0 (mod p_i)
+    // to keep the marker prefix distinguishable.
+    let mut branches = Vec::new();
+    for (i, &prime) in PRIMES[..n].iter().enumerate() {
+        // b^j with j % prime != 0 : (b^prime)* (b | bb | ... | b^{prime-1})
+        let nonzero: Vec<String> = (1..prime).map(|j| "b".repeat(j)).collect();
+        let a_i = format!("(({})*({}))", "b".repeat(prime), nonzero.join("|"));
+        branches.push(format!(
+            "{}(x{{{}{}}})",
+            "a".repeat(i),
+            "a".repeat(n - i),
+            a_i
+        ));
+    }
+    let s = Splitter::parse(&branches.join("|")).expect("gadget S");
+    let ps = Rgx::parse("a*(z{.*})")
+        .expect("gadget P_S")
+        .to_vsa()
+        .expect("functional");
+    (p, ps, s)
+}
+
+/// Disjoint splitter family: sentences over a `k`-letter delimiter
+/// class (size grows with `k`).
+pub fn delimiter_splitter(k: usize) -> Splitter {
+    assert!((1..=20).contains(&k));
+    let delims: String = (0..k).map(|i| (b'0' + i as u8) as char).collect();
+    Splitter::parse(&format!("(.*[{delims}])?x{{[^{delims}]+}}([{delims}].*)?"))
+        .expect("family splitter")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitc_automata::ops;
+
+    #[test]
+    fn mod_prime_union_counterexample_length() {
+        // n = 2: primes 2,3; shortest non-covered length = lcm = 6.
+        let u = mod_prime_union_nfa(2);
+        match ops::universal(&u) {
+            ops::Containment::Counterexample(w) => assert_eq!(w.len(), 6),
+            ops::Containment::Contained => panic!("not universal"),
+        }
+    }
+
+    #[test]
+    fn chain_extractor_grows_linearly() {
+        let a = chain_extractor(2);
+        let b = chain_extractor(8);
+        assert!(b.num_states() > a.num_states());
+        assert!(b.num_states() < a.num_states() + 40);
+    }
+
+    #[test]
+    fn gadget_families_build() {
+        let (p, ps, s) = theorem_5_1_gadget(2);
+        assert_eq!(p.vars().names(), &["y"]);
+        assert_eq!(ps.vars().names(), &["z"]);
+        assert_eq!(s.vsa().vars().names(), &["x"]);
+        let _ = branching_extractor(3);
+        let sp = delimiter_splitter(3);
+        assert!(sp.is_disjoint());
+    }
+}

@@ -1,0 +1,107 @@
+//! Experiment harness: shared machinery for the `e*`/`t*` binaries that
+//! regenerate every empirical claim of the paper (see `DESIGN.md` §4 for
+//! the experiment index and `EXPERIMENTS.md` for recorded results).
+
+use std::time::{Duration, Instant};
+
+pub mod families;
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Times a closure over several iterations, returning the minimum
+/// duration (robust against scheduler noise).
+pub fn time_best<T>(iters: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    assert!(iters >= 1);
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        out = Some(f());
+        best = best.min(t0.elapsed());
+    }
+    (out.expect("at least one iteration"), best)
+}
+
+/// Scale factor for corpus sizes, settable via `SC_SCALE` (default 1.0;
+/// the recorded `EXPERIMENTS.md` numbers use the default).
+pub fn scale() -> f64 {
+    std::env::var("SC_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Scales a byte count by [`scale`].
+pub fn scaled(bytes: usize) -> usize {
+    ((bytes as f64) * scale()) as usize
+}
+
+/// A plain-text results table, printed in a stable, grep-friendly
+/// format; rows are recorded verbatim in `EXPERIMENTS.md`.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Prints the table.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("| ");
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<w$} | ", c, w = widths[i]));
+            }
+            line
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!(
+            "|{}|",
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+}
+
+/// Formats a duration in milliseconds with 2 decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a speedup factor.
+pub fn x(f: f64) -> String {
+    format!("{f:.2}x")
+}

@@ -1,0 +1,258 @@
+//! Regular preconditions: splitters with filter (paper §7.2).
+//!
+//! A splitter with filter `S[L]` behaves like `S` on documents in the
+//! regular language `L` and returns nothing elsewhere. The key insight
+//! (Lemma 7.5) is that the minimal useful filter is
+//! `L_P = {d | P(d) ≠ ∅}`: whenever `P = P_S ∘ S[L]` for *some* regular
+//! `L`, already `P = P_S ∘ S[L_P]`. Deciding split-correctness /
+//! self-splittability / splittability *with regular filter* therefore
+//! reduces to the unfiltered problems against the filtered splitter
+//! `S[L_P]` (Theorems 7.6 and 7.7), which is itself an ordinary
+//! splitter (`S ⋈ π_∅ P`).
+
+use crate::split_correctness::{split_correct, Verdict};
+use crate::splittability::{splittable, SplittabilityVerdict};
+use crate::util;
+use splitc_automata::nfa::StateId;
+use splitc_spanner::ext::ExtAlphabet;
+use splitc_spanner::splitter::Splitter;
+use splitc_spanner::vars::{VarOp, VarTable};
+use splitc_spanner::vsa::Vsa;
+
+/// A splitter with a regular filter `S[L]` (paper §7.2).
+#[derive(Debug, Clone)]
+pub struct FilteredSplitter {
+    splitter: Splitter,
+    filter: Vsa,
+}
+
+impl FilteredSplitter {
+    /// Creates `S[L]`; `filter` must be a variable-free (Boolean)
+    /// spanner representing the language `L`.
+    pub fn new(splitter: Splitter, filter: Vsa) -> Result<FilteredSplitter, String> {
+        if !filter.vars().is_empty() {
+            return Err("the filter must be a variable-free regular language".into());
+        }
+        Ok(FilteredSplitter { splitter, filter })
+    }
+
+    /// The underlying splitter.
+    pub fn splitter(&self) -> &Splitter {
+        &self.splitter
+    }
+
+    /// The filter language as a Boolean spanner.
+    pub fn filter(&self) -> &Vsa {
+        &self.filter
+    }
+
+    /// Materializes `S[L]` as an ordinary splitter (splitters with
+    /// filter are not more powerful than splitters — §7.2): restricts
+    /// the splitter's ref-word language to documents in `L`.
+    pub fn to_splitter(&self) -> Splitter {
+        let s_vsa = self.splitter.vsa();
+        let table = s_vsa.vars().clone();
+        let mut masks = s_vsa.byte_masks();
+        masks.extend(self.filter.byte_masks());
+        let ext = ExtAlphabet::from_masks(table.clone(), &masks);
+        let ns = util::raw_ext_nfa(s_vsa, &ext).remove_eps();
+        // Filter with self-loops for the splitter variable's operations.
+        let mut f = util::raw_ext_nfa(&lift_filter_vars(&self.filter, &table), &ext);
+        let x = table.iter().next().expect("splitters are unary");
+        for q in 0..f.num_states() as StateId {
+            f.add_transition(q, ext.op_sym(VarOp::Open(x)), q);
+            f.add_transition(q, ext.op_sym(VarOp::Close(x)), q);
+        }
+        let product = ns.intersect(&f.remove_eps()).trim();
+        let vsa = Vsa::from_ext_nfa(&product, &ext);
+        Splitter::new(vsa).expect("filtering preserves arity")
+    }
+
+    /// Evaluates `S[L]` on a document.
+    pub fn split(&self, doc: &[u8]) -> Vec<splitc_spanner::span::Span> {
+        if splitc_spanner::eval::eval(&self.filter, doc).is_empty() {
+            Vec::new()
+        } else {
+            self.splitter.split(doc)
+        }
+    }
+}
+
+/// The filter `L` may be built over a different variable table; lift it
+/// to the splitter's table without introducing operations.
+fn lift_filter_vars(filter: &Vsa, table: &VarTable) -> Vsa {
+    // A variable-free automaton can adopt any table by construction: we
+    // rebuild it transition-for-transition over the new table.
+    let mut out = Vsa::new(table.clone());
+    let mut map = vec![0; filter.num_states()];
+    for (q, slot) in map.iter_mut().enumerate() {
+        *slot = if q == filter.start() as usize {
+            0
+        } else {
+            out.add_state()
+        };
+    }
+    for q in 0..filter.num_states() as StateId {
+        out.set_final(map[q as usize], filter.is_final(q));
+        for &(l, r) in filter.transitions_from(q) {
+            out.add_transition(map[q as usize], l, map[r as usize]);
+        }
+    }
+    out
+}
+
+/// The minimal filter language `L_P = {d | P(d) ≠ ∅}` as a Boolean
+/// spanner (`π_∅ P`).
+pub fn lp_language(p: &Vsa) -> Vsa {
+    let (empty_table, map) = p.vars().project(&[]);
+    let erased = p.rename_vars(empty_table, &map);
+    erased.functionalize()
+}
+
+/// Split-correctness with regular filter (Theorem 7.6): is there a
+/// regular language `L` such that `P = P_S ∘ S[L]`? By Lemma 7.5 it
+/// suffices to test `L = L_P`. The verdict carries the minimal filter
+/// when the property holds.
+pub fn split_correct_with_filter(p: &Vsa, ps: &Vsa, s: &Splitter) -> Result<FilterVerdict, String> {
+    let lp = lp_language(p);
+    let filtered = FilteredSplitter::new(s.clone(), lp.clone())?;
+    Ok(match split_correct(p, ps, &filtered.to_splitter())? {
+        Verdict::Holds => FilterVerdict::HoldsWith { filter: lp },
+        Verdict::Fails(cex) => FilterVerdict::Fails(cex),
+    })
+}
+
+/// Self-splittability with regular filter (Theorem 7.6).
+pub fn self_splittable_with_filter(p: &Vsa, s: &Splitter) -> Result<FilterVerdict, String> {
+    split_correct_with_filter(p, p, s)
+}
+
+/// Splittability with regular filter for disjoint splitters
+/// (Theorem 7.7).
+pub fn splittable_with_filter(p: &Vsa, s: &Splitter) -> Result<SplittabilityVerdict, String> {
+    let lp = lp_language(p);
+    let filtered = FilteredSplitter::new(s.clone(), lp)?;
+    let fs = filtered.to_splitter();
+    splittable(p, &fs)
+}
+
+/// Outcome of a with-filter check; the positive case returns the minimal
+/// filter `L_P` that realizes it.
+#[derive(Debug, Clone)]
+pub enum FilterVerdict {
+    /// The property holds with the given (minimal, Lemma 7.5) filter.
+    HoldsWith {
+        /// `L_P` as a Boolean spanner.
+        filter: Vsa,
+    },
+    /// No regular filter makes the property hold.
+    Fails(crate::split_correctness::CounterExample),
+}
+
+impl FilterVerdict {
+    /// Whether a filter exists.
+    pub fn holds(&self) -> bool {
+        matches!(self, FilterVerdict::HoldsWith { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitc_spanner::eval::eval;
+    use splitc_spanner::rgx::Rgx;
+    use splitc_spanner::span::Span;
+    use splitc_spanner::splitter;
+
+    fn vsa(p: &str) -> Vsa {
+        Rgx::parse(p).unwrap().to_vsa().unwrap()
+    }
+
+    #[test]
+    fn lp_language_is_nonempty_output_language() {
+        let p = vsa(".*x{ab}.*");
+        let lp = lp_language(&p);
+        assert!(!eval(&lp, b"zabz").is_empty());
+        assert!(eval(&lp, b"zz").is_empty());
+    }
+
+    #[test]
+    fn filtered_splitter_materializes() {
+        // Sentences filtered to documents that contain "ab".
+        let s = splitter::sentences();
+        let f = FilteredSplitter::new(s.clone(), vsa(".*ab.*")).unwrap();
+        let mat = f.to_splitter();
+        let doc_yes = b"ab.cd";
+        let doc_no = b"cd.ef";
+        assert_eq!(mat.split(doc_yes), s.split(doc_yes));
+        assert_eq!(mat.split(doc_yes), f.split(doc_yes));
+        assert!(mat.split(doc_no).is_empty());
+        assert!(f.split(doc_no).is_empty());
+    }
+
+    #[test]
+    fn filter_must_be_variable_free() {
+        let s = splitter::sentences();
+        assert!(FilteredSplitter::new(s, vsa("x{a}")).is_err());
+    }
+
+    #[test]
+    fn with_filter_succeeds_where_plain_fails() {
+        // §7.2 motivation: P extracts the token of *single-token*
+        // documents. It is not self-splittable by sentences (per-chunk
+        // evaluation also fires on multi-sentence documents), but it is
+        // with the minimal filter L_P = single-token documents.
+        let p = vsa("x{[a-z]+}");
+        let s = splitter::sentences();
+        assert!(!crate::self_splittable(&p, &s).unwrap().holds());
+        let v = self_splittable_with_filter(&p, &s).unwrap();
+        match v {
+            FilterVerdict::HoldsWith { filter } => {
+                assert!(!eval(&filter, b"abc").is_empty());
+                assert!(eval(&filter, b"ab.cd").is_empty());
+            }
+            FilterVerdict::Fails(cex) => panic!("filter should exist: {cex}"),
+        }
+    }
+
+    #[test]
+    fn splittable_with_filter_for_disjoint_splitters() {
+        // Theorem 7.7: splittability with regular filter, disjoint S.
+        let p = vsa("x{[a-z]+}");
+        let s = splitter::sentences();
+        assert!(s.is_disjoint());
+        // Without a filter, P is not splittable by sentences (the
+        // canonical spanner would fire on every chunk of every doc).
+        match splittable(&p, &s).unwrap() {
+            SplittabilityVerdict::NotSplittable(_) => {}
+            SplittabilityVerdict::Splittable { .. } => {
+                panic!("P should not be plainly splittable")
+            }
+        }
+        // With the L_P filter it becomes splittable (indeed
+        // self-splittable, witnessed by the canonical spanner).
+        match splittable_with_filter(&p, &s).unwrap() {
+            SplittabilityVerdict::Splittable { witness } => {
+                let rel = eval(&witness, b"abc");
+                assert_eq!(rel.len(), 1);
+            }
+            SplittabilityVerdict::NotSplittable(cex) => {
+                panic!("should be splittable with filter: {cex}")
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_7_5_minimality() {
+        // If P = P_S ∘ S[L] then L_P ⊆ L and P = P_S ∘ S[L_P]: validate
+        // the second half on an instance where a filter exists.
+        let p = vsa("x{a+}!");
+        let s = splitter::whole_document();
+        let lp = lp_language(&p);
+        let filtered = FilteredSplitter::new(s, lp).unwrap().to_splitter();
+        assert!(crate::split_correct(&p, &p, &filtered).unwrap().holds());
+        // And the filtered splitter outputs nothing outside L_P.
+        assert!(filtered.split(b"aaa").is_empty());
+        assert_eq!(filtered.split(b"aa!"), vec![Span::new(0, 3)]);
+    }
+}

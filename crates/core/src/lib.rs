@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! Decision procedures for split-correctness, splittability and
+//! self-splittability of document spanners — the primary contribution of
+//! *Split-Correctness in Information Extraction* (Doleschal, Kimelfeld,
+//! Martens, Nahshon, Neven; PODS 2019).
+//!
+//! | Paper result | API |
+//! |---|---|
+//! | Thm 5.1 — split-correctness, PSPACE | [`split_correct`] |
+//! | Thm 5.7 — PTIME for dfVSA + disjoint splitters | [`split_correct_df`] |
+//! | Lemma 5.3/5.4 — cover condition | [`cover::cover_condition`] |
+//! | Lemma 5.6 — PTIME cover condition | [`cover::cover_condition_df`] |
+//! | Prop 5.9 — canonical split-spanner | [`splittability::canonical_split_spanner`] |
+//! | Thm 5.15 — splittability for disjoint splitters | [`splittability::splittable`] |
+//! | Thm 5.16/5.17 — self-splittability | [`self_splittable`], [`self_splittable_df`] |
+//! | §6 — splitter commutativity, subsumption, transitivity | [`reasoning`] |
+//! | §7.1 — split-constrained black boxes | [`blackbox`] |
+//! | §7.2 — regular preconditions / filters | [`filters`] |
+//! | §7.3 / App. E — annotated splitters | [`annotated`] |
+//!
+//! All procedures operate on order-normalized valid ref-word languages
+//! (see `splitc_spanner::equiv`), so "spanner equality" below is exactly
+//! the paper's `P = P′` (same output relation on every document).
+
+pub mod annotated;
+pub mod blackbox;
+pub mod cover;
+pub mod filters;
+pub mod reasoning;
+pub mod split_correctness;
+pub mod splittability;
+pub(crate) mod util;
+
+pub use cover::{cover_condition, cover_condition_df};
+pub use split_correctness::{
+    self_splittable, self_splittable_df, split_correct, split_correct_df, CounterExample,
+    FastPathError, Verdict,
+};
+pub use splittability::{canonical_split_spanner, splittable, SplittabilityVerdict};

@@ -1,0 +1,258 @@
+//! The parallel split-evaluation engine.
+
+use splitc_spanner::eval::eval_evsa;
+use splitc_spanner::evsa::EVsa;
+use splitc_spanner::span::Span;
+use splitc_spanner::splitter::Splitter;
+use splitc_spanner::tuple::{SpanRelation, SpanTuple};
+use splitc_spanner::vsa::Vsa;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A splitting function: documents to split spans. Native splitters
+/// (`splitc_spanner::splitter::native`) are used on large corpora;
+/// formal splitters can be wrapped via [`split_fn_of_splitter`].
+pub type SplitFn = Arc<dyn Fn(&[u8]) -> Vec<Span> + Send + Sync>;
+
+/// Wraps a formal (automaton) splitter as a [`SplitFn`].
+pub fn split_fn_of_splitter(s: &Splitter) -> SplitFn {
+    let compiled = s.compile();
+    Arc::new(move |doc| compiled.split(doc))
+}
+
+/// A spanner compiled for repeated evaluation.
+#[derive(Debug, Clone)]
+pub struct ExecSpanner {
+    evsa: Arc<EVsa>,
+}
+
+impl ExecSpanner {
+    /// Compiles a VSet-automaton once (functionalization + block normal
+    /// form).
+    pub fn compile(vsa: &Vsa) -> ExecSpanner {
+        let f = if vsa.is_functional() {
+            vsa.trim()
+        } else {
+            vsa.functionalize()
+        };
+        ExecSpanner {
+            evsa: Arc::new(EVsa::from_functional(&f)),
+        }
+    }
+
+    /// The compiled block-normal-form automaton.
+    pub fn evsa(&self) -> &EVsa {
+        &self.evsa
+    }
+
+    /// Evaluates on one document.
+    pub fn eval(&self, doc: &[u8]) -> SpanRelation {
+        eval_evsa(&self.evsa, doc)
+    }
+}
+
+/// Sequential baseline: evaluates the spanner on the whole document.
+pub fn evaluate_sequential(spanner: &ExecSpanner, doc: &[u8]) -> SpanRelation {
+    spanner.eval(doc)
+}
+
+/// Split-and-distribute evaluation: splits `doc`, evaluates the (split-)
+/// spanner on every chunk on a pool of `workers` threads, shifts and
+/// unions the results. When `P = P_S ∘ S` has been certified, this
+/// equals `evaluate_sequential(P, doc)`.
+pub fn evaluate_split(
+    split_spanner: &ExecSpanner,
+    split: &SplitFn,
+    doc: &[u8],
+    workers: usize,
+) -> SpanRelation {
+    let chunks = split(doc);
+    if chunks.is_empty() {
+        return SpanRelation::empty();
+    }
+    let results = run_pool(workers, chunks.len(), |i| {
+        let sp = chunks[i];
+        let local = split_spanner.eval(sp.slice(doc));
+        local
+            .iter()
+            .map(|t| t.shift(sp))
+            .collect::<Vec<SpanTuple>>()
+    });
+    SpanRelation::from_tuples(results.into_iter().flatten().collect())
+}
+
+/// Evaluates the spanner over a collection of documents, one task per
+/// document (the "pre-parallel" baseline of the paper's Spark
+/// experiments). Returns one relation per document, in order.
+pub fn evaluate_many(spanner: &ExecSpanner, docs: &[&[u8]], workers: usize) -> Vec<SpanRelation> {
+    run_pool(workers, docs.len(), |i| spanner.eval(docs[i]))
+}
+
+/// Evaluates over a collection of documents with **per-chunk tasks**:
+/// every document is split and each (doc, chunk) pair becomes one pool
+/// task — more, smaller tasks for the same pool, reproducing the paper's
+/// observation that splitting helps even for pre-parallel collections.
+pub fn evaluate_many_split(
+    split_spanner: &ExecSpanner,
+    split: &SplitFn,
+    docs: &[&[u8]],
+    workers: usize,
+) -> Vec<SpanRelation> {
+    // Flatten (doc, chunk) pairs.
+    let mut tasks: Vec<(usize, Span)> = Vec::new();
+    for (di, doc) in docs.iter().enumerate() {
+        for sp in split(doc) {
+            tasks.push((di, sp));
+        }
+    }
+    let partials = run_pool(workers, tasks.len(), |i| {
+        let (di, sp) = tasks[i];
+        let local = split_spanner.eval(sp.slice(docs[di]));
+        (
+            di,
+            local
+                .iter()
+                .map(|t| t.shift(sp))
+                .collect::<Vec<SpanTuple>>(),
+        )
+    });
+    let mut per_doc: Vec<Vec<SpanTuple>> = vec![Vec::new(); docs.len()];
+    for (di, tuples) in partials {
+        per_doc[di].extend(tuples);
+    }
+    per_doc.into_iter().map(SpanRelation::from_tuples).collect()
+}
+
+/// Runs `n` independent tasks on `workers` threads with work stealing
+/// via a shared atomic counter; collects results in task order.
+fn run_pool<T, F>(workers: usize, n: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(workers >= 1, "need at least one worker");
+    if workers == 1 || n <= 1 {
+        return (0..n).map(task).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let slots_ptr = SlotsPtr(slots.as_mut_ptr());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            let next = &next;
+            let task = &task;
+            let slots_ptr = &slots_ptr;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = task(i);
+                // SAFETY: each index is claimed exactly once via the
+                // atomic counter, so writes to distinct slots never
+                // alias; the scope guarantees the buffer outlives the
+                // threads.
+                unsafe {
+                    *slots_ptr.0.add(i) = Some(out);
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task ran"))
+        .collect()
+}
+
+/// Send/Sync wrapper for the disjoint-slot output buffer.
+struct SlotsPtr<T>(*mut Option<T>);
+unsafe impl<T: Send> Send for SlotsPtr<T> {}
+unsafe impl<T: Send> Sync for SlotsPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitc_spanner::rgx::Rgx;
+    use splitc_spanner::splitter::{self, native};
+
+    fn spanner(pat: &str) -> ExecSpanner {
+        ExecSpanner::compile(&Rgx::parse(pat).unwrap().to_vsa().unwrap())
+    }
+
+    #[test]
+    fn split_evaluation_matches_sequential() {
+        // A self-splittable extractor: all a-runs; sentence splitter.
+        let p = spanner(".*x{a+}.*");
+        let split: SplitFn = Arc::new(native::sentences);
+        let doc = b"aa bb aaa. a. bbb aa";
+        for workers in [1, 2, 4] {
+            assert_eq!(
+                evaluate_split(&p, &split, doc, workers),
+                evaluate_sequential(&p, doc),
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn formal_splitter_wrapping() {
+        let p = spanner(".*x{a+}.*");
+        let split = split_fn_of_splitter(&splitter::sentences());
+        let doc = b"aa.bb aaa";
+        assert_eq!(
+            evaluate_split(&p, &split, doc, 2),
+            evaluate_sequential(&p, doc)
+        );
+    }
+
+    #[test]
+    fn empty_and_trivial_documents() {
+        let p = spanner(".*x{a+}.*");
+        let split: SplitFn = Arc::new(native::sentences);
+        assert!(evaluate_split(&p, &split, b"", 4).is_empty());
+        assert!(evaluate_split(&p, &split, b"...", 4).is_empty());
+    }
+
+    #[test]
+    fn many_documents_both_granularities() {
+        let p = spanner(".*x{a+}.*");
+        let split: SplitFn = Arc::new(native::sentences);
+        let docs: Vec<&[u8]> = vec![b"aa. b aa", b"", b"a.a.a", b"bbb"];
+        let per_doc = evaluate_many(&p, &docs, 3);
+        let per_chunk = evaluate_many_split(&p, &split, &docs, 3);
+        assert_eq!(per_doc.len(), docs.len());
+        assert_eq!(per_doc, per_chunk);
+        // "aa. b aa": x{a+} matches every a+ substring — 3 per a-pair.
+        assert_eq!(per_doc[0].len(), 6);
+        assert!(per_doc[1].is_empty());
+    }
+
+    #[test]
+    fn pool_order_is_stable() {
+        let p = spanner("x{a*}");
+        let docs: Vec<Vec<u8>> = (0..64).map(|i| vec![b'a'; i % 7]).collect();
+        let refs: Vec<&[u8]> = docs.iter().map(Vec::as_slice).collect();
+        let out = evaluate_many(&p, &refs, 8);
+        for (i, rel) in out.iter().enumerate() {
+            assert_eq!(rel.len(), 1);
+            assert_eq!(
+                rel.tuples()[0].spans()[0].len(),
+                i % 7,
+                "order must be preserved"
+            );
+        }
+    }
+
+    #[test]
+    fn split_spanner_differs_from_p_when_not_self_splittable() {
+        // Sanity: the engine computes P_S ∘ S; if P is not
+        // self-splittable, distributing P itself changes the semantics —
+        // which the engine faithfully reflects.
+        let p = spanner(".*x{a\\.a}.*");
+        let split: SplitFn = Arc::new(native::sentences);
+        let doc = b"a.a";
+        assert_eq!(evaluate_sequential(&p, doc).len(), 1);
+        assert!(evaluate_split(&p, &split, doc, 2).is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Incremental evaluation under document edits.
+//!
+//! The paper (§1): *"when a large document undergoes a minor edit, like
+//! in the Wikipedia model, only the relevant segments (e.g., sentences
+//! or paragraphs) need to be reprocessed."* Given a certified
+//! `P = P_S ∘ S`, evaluation factors through segments; caching the
+//! per-segment relations by segment **content** makes re-evaluation of
+//! an edited document cost only the changed segments.
+
+use crate::engine::{ExecSpanner, SplitFn};
+use parking_lot::Mutex;
+use splitc_spanner::tuple::{SpanRelation, SpanTuple};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Cache statistics of an [`IncrementalRunner`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Segments answered from cache.
+    pub hits: usize,
+    /// Segments evaluated from scratch.
+    pub misses: usize,
+}
+
+/// Incremental evaluator: splits documents and caches per-segment
+/// relations keyed by segment content hash (with collision verification
+/// against the stored content length).
+pub struct IncrementalRunner {
+    spanner: ExecSpanner,
+    split: SplitFn,
+    cache: Mutex<HashMap<u64, CachedEntry>>,
+    stats: Mutex<CacheStats>,
+}
+
+struct CachedEntry {
+    content: Vec<u8>,
+    relation: SpanRelation,
+}
+
+impl IncrementalRunner {
+    /// Creates a runner for a (split-)spanner and splitter.
+    pub fn new(spanner: ExecSpanner, split: SplitFn) -> IncrementalRunner {
+        IncrementalRunner {
+            spanner,
+            split,
+            cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// Evaluates `P_S ∘ S` on the document, reusing cached segment
+    /// results.
+    pub fn eval(&self, doc: &[u8]) -> SpanRelation {
+        let chunks = (self.split)(doc);
+        let mut tuples: Vec<SpanTuple> = Vec::new();
+        for sp in chunks {
+            let content = sp.slice(doc);
+            let key = hash_bytes(content);
+            let cache = self.cache.lock();
+            let local = match cache.get(&key) {
+                Some(entry) if entry.content == content => {
+                    self.stats.lock().hits += 1;
+                    entry.relation.clone()
+                }
+                _ => {
+                    drop(cache);
+                    let rel = self.spanner.eval(content);
+                    self.stats.lock().misses += 1;
+                    let mut cache = self.cache.lock();
+                    cache.insert(
+                        key,
+                        CachedEntry {
+                            content: content.to_vec(),
+                            relation: rel.clone(),
+                        },
+                    );
+                    rel
+                }
+            };
+            tuples.extend(local.iter().map(|t| t.shift(sp)));
+        }
+        SpanRelation::from_tuples(tuples)
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    /// Number of cached segments.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Clears the cache and statistics.
+    pub fn clear(&self) {
+        self.cache.lock().clear();
+        *self.stats.lock() = CacheStats::default();
+    }
+}
+
+fn hash_bytes(b: &[u8]) -> u64 {
+    let mut h = DefaultHasher::new();
+    b.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitc_spanner::rgx::Rgx;
+    use splitc_spanner::splitter::native;
+    use std::sync::Arc;
+
+    fn runner(pat: &str) -> IncrementalRunner {
+        let spanner = ExecSpanner::compile(&Rgx::parse(pat).unwrap().to_vsa().unwrap());
+        IncrementalRunner::new(spanner, Arc::new(native::sentences))
+    }
+
+    #[test]
+    fn incremental_matches_direct() {
+        let r = runner(".*x{a+}.*");
+        let doc = b"aa b. c aaa. aa";
+        let direct = r.spanner.eval(doc);
+        assert_eq!(r.eval(doc), direct, "self-splittable: equal semantics");
+    }
+
+    #[test]
+    fn single_segment_edit_reuses_other_segments() {
+        let r = runner(".*x{a+}.*");
+        let v1 = b"aaa bb. cc aa. dd a";
+        let _ = r.eval(v1);
+        let s1 = r.stats();
+        assert_eq!(s1.misses, 3);
+        assert_eq!(s1.hits, 0);
+        // Edit the middle sentence only.
+        let v2 = b"aaa bb. cc aaaa. dd a";
+        let rel = r.eval(v2);
+        let s2 = r.stats();
+        assert_eq!(s2.misses, 4, "only the edited segment is recomputed");
+        assert_eq!(s2.hits, 2, "the other two segments come from cache");
+        // Semantics unaffected by caching.
+        assert_eq!(rel, r.spanner.eval(v2));
+    }
+
+    #[test]
+    fn repeated_segments_hit_cache_within_one_doc() {
+        let r = runner(".*x{a+}.*");
+        let doc = b"aa.aa.aa"; // three identical segments "aa"
+        let rel = r.eval(doc);
+        let s = r.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 2);
+        // Per segment: x ∈ {a@0, a@1, aa} — 3 tuples, shifted apart.
+        assert_eq!(rel.len(), 9, "shifted copies are distinct tuples");
+        assert_eq!(r.cache_len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let r = runner("x{a*}");
+        let _ = r.eval(b"aa");
+        assert!(r.cache_len() > 0);
+        r.clear();
+        assert_eq!(r.cache_len(), 0);
+        assert_eq!(r.stats(), CacheStats::default());
+    }
+}

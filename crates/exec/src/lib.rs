@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Parallel and incremental execution of split spanner evaluation.
+//!
+//! The paper's Introduction motivates split-correctness with three
+//! operational payoffs, all implemented here:
+//!
+//! * **Parallel evaluation** ([`engine`]): once `P = P_S ∘ S` is
+//!   certified, a document is split by `S` and `P_S` is evaluated on the
+//!   chunks by a worker pool, with results shifted (`≫`) and unioned —
+//!   semantically identical to evaluating `P` on the whole document
+//!   (guaranteed by the decision procedures of `splitc-core`).
+//! * **Fine-grained scheduling** ([`engine::evaluate_many_split`]): even
+//!   for pre-parallel collections of small documents, splitting yields
+//!   more, smaller tasks and measurably better pool utilization — the
+//!   paper's Spark observation (§1 "Further motivation").
+//! * **Incremental maintenance** ([`incremental`]): per-segment result
+//!   caching keyed by segment content, so re-evaluating an edited
+//!   document only recomputes the touched segments (the paper's
+//!   Wikipedia-edit scenario).
+
+pub mod annotated;
+pub mod engine;
+pub mod incremental;
+pub mod simulate;
+
+pub use annotated::{AnnotatedPlan, AnnotatedSplitFn};
+pub use engine::{
+    evaluate_many, evaluate_many_split, evaluate_sequential, evaluate_split, ExecSpanner, SplitFn,
+};
+pub use incremental::IncrementalRunner;
+pub use simulate::{simulate_collection, simulate_split, SimReport};

@@ -1,0 +1,198 @@
+//! 256-bit byte sets.
+//!
+//! Transitions of our VSet-automata carry *sets* of bytes rather than
+//! single bytes, so that realistic spanners over Σ = all 256 byte values
+//! (e.g. "any byte that is not a period") are represented by single edges.
+//! Decision procedures compress the sets into *byte classes* (see
+//! [`crate::ext`]) before handing automata to the generic substrate.
+
+use std::fmt;
+
+/// A set of byte values, stored as a 256-bit mask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ByteSet {
+    bits: [u64; 4],
+}
+
+impl ByteSet {
+    /// The empty set.
+    pub const EMPTY: ByteSet = ByteSet { bits: [0; 4] };
+
+    /// The full set Σ (all 256 byte values).
+    pub const FULL: ByteSet = ByteSet {
+        bits: [u64::MAX; 4],
+    };
+
+    /// Singleton set.
+    pub fn single(b: u8) -> ByteSet {
+        let mut s = ByteSet::EMPTY;
+        s.insert(b);
+        s
+    }
+
+    /// Set from an inclusive range.
+    pub fn range(lo: u8, hi: u8) -> ByteSet {
+        let mut s = ByteSet::EMPTY;
+        let mut b = lo;
+        loop {
+            s.insert(b);
+            if b == hi {
+                break;
+            }
+            b += 1;
+        }
+        s
+    }
+
+    /// Set from explicit bytes.
+    pub fn from_bytes(bytes: &[u8]) -> ByteSet {
+        let mut s = ByteSet::EMPTY;
+        for &b in bytes {
+            s.insert(b);
+        }
+        s
+    }
+
+    /// Inserts a byte.
+    #[inline]
+    pub fn insert(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, b: u8) -> bool {
+        self.bits[(b >> 6) as usize] & (1u64 << (b & 63)) != 0
+    }
+
+    /// Set complement.
+    #[inline]
+    pub fn complement(&self) -> ByteSet {
+        ByteSet {
+            bits: [!self.bits[0], !self.bits[1], !self.bits[2], !self.bits[3]],
+        }
+    }
+
+    /// Intersection.
+    #[inline]
+    pub fn and(&self, other: &ByteSet) -> ByteSet {
+        ByteSet {
+            bits: [
+                self.bits[0] & other.bits[0],
+                self.bits[1] & other.bits[1],
+                self.bits[2] & other.bits[2],
+                self.bits[3] & other.bits[3],
+            ],
+        }
+    }
+
+    /// Union.
+    #[inline]
+    pub fn or(&self, other: &ByteSet) -> ByteSet {
+        ByteSet {
+            bits: [
+                self.bits[0] | other.bits[0],
+                self.bits[1] | other.bits[1],
+                self.bits[2] | other.bits[2],
+                self.bits[3] | other.bits[3],
+            ],
+        }
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits == [0; 4]
+    }
+
+    /// Number of bytes in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the member bytes in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0u16..256).filter_map(move |b| {
+            let b = b as u8;
+            if self.contains(b) {
+                Some(b)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Smallest member, if any (useful for witness materialization).
+    pub fn first(&self) -> Option<u8> {
+        self.iter().next()
+    }
+}
+
+impl fmt::Debug for ByteSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == ByteSet::FULL {
+            return write!(f, "Σ");
+        }
+        if self.len() > 128 {
+            return write!(f, "Σ∖{:?}", self.complement());
+        }
+        write!(f, "{{")?;
+        let mut first = true;
+        for b in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{:?}", b as char)?;
+            } else {
+                write!(f, "0x{b:02x}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = ByteSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(b'a');
+        s.insert(b'z');
+        assert!(s.contains(b'a'));
+        assert!(!s.contains(b'b'));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.first(), Some(b'a'));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![b'a', b'z']);
+    }
+
+    #[test]
+    fn ranges_and_complement() {
+        let digits = ByteSet::range(b'0', b'9');
+        assert_eq!(digits.len(), 10);
+        let not_digits = digits.complement();
+        assert!(!not_digits.contains(b'5'));
+        assert!(not_digits.contains(b'a'));
+        assert_eq!(digits.and(&not_digits), ByteSet::EMPTY);
+        assert_eq!(digits.or(&not_digits), ByteSet::FULL);
+    }
+
+    #[test]
+    fn full_range_wraps_safely() {
+        let all = ByteSet::range(0, 255);
+        assert_eq!(all, ByteSet::FULL);
+        assert_eq!(all.len(), 256);
+    }
+
+    #[test]
+    fn intersection_union() {
+        let a = ByteSet::from_bytes(b"abc");
+        let b = ByteSet::from_bytes(b"bcd");
+        assert_eq!(a.and(&b), ByteSet::from_bytes(b"bc"));
+        assert_eq!(a.or(&b), ByteSet::from_bytes(b"abcd"));
+    }
+}

@@ -1,0 +1,489 @@
+//! Evaluation of spanners on documents.
+//!
+//! [`eval_evsa`] is the production evaluator. It works in two passes:
+//!
+//! 1. a backward *viability* pass computes, per document position, the
+//!    set of states from which acceptance is still reachable (bitset
+//!    rows, `O(n · |δ|)` time, `O(n · |Q|/64)` space);
+//! 2. an iterative forward search enumerates tuples, entering only viable
+//!    states. Once a run reaches a *post* state (all variables closed —
+//!    well-defined because states of a functional automaton have unique
+//!    variable configurations), the output tuple is already determined and
+//!    the run is cut off immediately, so trailing `Σ*` contexts cost O(1)
+//!    per match instead of O(document).
+//!
+//! [`reference_eval`] is an intentionally naive oracle used by the test
+//! suite: it enumerates candidate tuples and checks membership of each
+//! encoded ref-word in the normalized ref-word language — an independent
+//! implementation path against which the fast evaluator is validated.
+
+use crate::evsa::EVsa;
+use crate::ext::ExtAlphabet;
+use crate::span::Span;
+use crate::tuple::{SpanRelation, SpanTuple};
+use crate::vars::VarOp;
+use crate::vsa::Vsa;
+use splitc_automata::nfa::StateId;
+
+/// Evaluates a (not necessarily functional) VSet-automaton on a document.
+///
+/// Convenience wrapper: functionalizes, converts to block normal form and
+/// calls [`eval_evsa`]. For repeated evaluation compile once via
+/// [`EVsa::from_functional`].
+pub fn eval(vsa: &Vsa, doc: &[u8]) -> SpanRelation {
+    let f = if vsa.is_functional() {
+        vsa.clone()
+    } else {
+        vsa.functionalize()
+    };
+    eval_evsa(&EVsa::from_functional(&f), doc)
+}
+
+/// Per-position state bitsets.
+struct Viability {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl Viability {
+    #[inline]
+    fn get(&self, pos: usize, q: usize) -> bool {
+        self.bits[pos * self.words + (q >> 6)] & (1u64 << (q & 63)) != 0
+    }
+    #[inline]
+    fn set(&mut self, pos: usize, q: usize) {
+        self.bits[pos * self.words + (q >> 6)] |= 1u64 << (q & 63);
+    }
+}
+
+fn viability(evsa: &EVsa, doc: &[u8]) -> Viability {
+    let n = doc.len();
+    let ns = evsa.num_states();
+    let words = ns.div_ceil(64);
+    let mut v = Viability {
+        words,
+        bits: vec![0u64; (n + 1) * words],
+    };
+    for q in 0..ns {
+        if !evsa.final_blocks(q as StateId).is_empty() {
+            v.set(n, q);
+        }
+    }
+    for i in (0..n).rev() {
+        let b = doc[i];
+        for q in 0..ns {
+            for (_, mask, r) in evsa.transitions_from(q as StateId) {
+                if mask.contains(b) && v.get(i + 1, *r as usize) {
+                    v.set(i, q);
+                    break;
+                }
+            }
+        }
+    }
+    v
+}
+
+/// Computes the *post* flag per state: true when the state's (unique)
+/// variable configuration has every variable closed, i.e. the output
+/// tuple of any run is already fully determined on entry.
+fn post_states(evsa: &EVsa) -> Vec<bool> {
+    use std::collections::VecDeque;
+    let nv = evsa.vars().len();
+    let ns = evsa.num_states();
+    // closed_count[q]: number of closed variables at q (unique per state
+    // in a functional automaton); usize::MAX = unreached.
+    let mut closed = vec![usize::MAX; ns];
+    let mut queue = VecDeque::new();
+    closed[evsa.start() as usize] = 0;
+    queue.push_back(evsa.start());
+    while let Some(q) = queue.pop_front() {
+        let c = closed[q as usize];
+        for (block, _, r) in evsa.transitions_from(q) {
+            let closes = block.iter().filter(|op| !op.is_open()).count();
+            let nc = c + closes;
+            if closed[*r as usize] == usize::MAX {
+                closed[*r as usize] = nc;
+                queue.push_back(*r);
+            }
+        }
+    }
+    closed.iter().map(|&c| c != usize::MAX && c == nv).collect()
+}
+
+/// Evaluates a block-normal-form automaton on a document.
+pub fn eval_evsa(evsa: &EVsa, doc: &[u8]) -> SpanRelation {
+    let n = doc.len();
+    let ns = evsa.num_states();
+    if ns == 0 {
+        return SpanRelation::empty();
+    }
+    let viable = viability(evsa, doc);
+    if !viable.get(0, evsa.start() as usize) {
+        return SpanRelation::empty();
+    }
+    let nv = evsa.vars().len();
+    let post = post_states(evsa);
+
+    const UNSET: usize = usize::MAX;
+    let mut opens = vec![UNSET; nv];
+    let mut closes = vec![UNSET; nv];
+    let mut out: Vec<SpanTuple> = Vec::new();
+
+    // Trail of (var index, is_open, old value) for undo.
+    let mut trail: Vec<(usize, bool, usize)> = Vec::new();
+
+    struct Frame {
+        pos: usize,
+        state: StateId,
+        edge: usize,
+        trail_mark: usize,
+        emitted_finals: bool,
+    }
+
+    fn apply_block(
+        block: &[VarOp],
+        pos: usize,
+        opens: &mut [usize],
+        closes: &mut [usize],
+        trail: &mut Vec<(usize, bool, usize)>,
+    ) {
+        for op in block {
+            match op {
+                VarOp::Open(v) => {
+                    trail.push((v.index(), true, opens[v.index()]));
+                    opens[v.index()] = pos;
+                }
+                VarOp::Close(v) => {
+                    trail.push((v.index(), false, closes[v.index()]));
+                    closes[v.index()] = pos;
+                }
+            }
+        }
+    }
+
+    fn undo(
+        trail: &mut Vec<(usize, bool, usize)>,
+        mark: usize,
+        opens: &mut [usize],
+        closes: &mut [usize],
+    ) {
+        while trail.len() > mark {
+            let (v, was_open, old) = trail.pop().unwrap();
+            if was_open {
+                opens[v] = old;
+            } else {
+                closes[v] = old;
+            }
+        }
+    }
+
+    let emit = |opens: &[usize], closes: &[usize], out: &mut Vec<SpanTuple>| {
+        debug_assert!(
+            (0..nv).all(|i| opens[i] != UNSET && closes[i] != UNSET),
+            "functional automaton must assign all variables"
+        );
+        out.push(SpanTuple::new(
+            (0..nv).map(|i| Span::new(opens[i], closes[i])).collect(),
+        ));
+    };
+
+    // Post-state cutoff at the root (Boolean spanners).
+    if post[evsa.start() as usize] {
+        emit(&opens, &closes, &mut out);
+        return SpanRelation::from_tuples(out);
+    }
+
+    let mut stack = vec![Frame {
+        pos: 0,
+        state: evsa.start(),
+        edge: 0,
+        trail_mark: 0,
+        emitted_finals: false,
+    }];
+
+    while let Some(frame) = stack.last_mut() {
+        let pos = frame.pos;
+        let state = frame.state;
+
+        if !frame.emitted_finals {
+            frame.emitted_finals = true;
+            if pos == n {
+                for block in evsa.final_blocks(state) {
+                    let mark = trail.len();
+                    apply_block(block, pos, &mut opens, &mut closes, &mut trail);
+                    emit(&opens, &closes, &mut out);
+                    undo(&mut trail, mark, &mut opens, &mut closes);
+                }
+            }
+        }
+
+        if pos == n {
+            let mark = frame.trail_mark;
+            stack.pop();
+            undo(&mut trail, mark, &mut opens, &mut closes);
+            continue;
+        }
+
+        let b = doc[pos];
+        let ts = evsa.transitions_from(state);
+        let mut advanced = false;
+        while frame.edge < ts.len() {
+            let (block, mask, r) = &ts[frame.edge];
+            frame.edge += 1;
+            if !mask.contains(b) || !viable.get(pos + 1, *r as usize) {
+                continue;
+            }
+            let mark = trail.len();
+            // Block operations happen at the boundary *before* the byte.
+            apply_block(block, pos, &mut opens, &mut closes, &mut trail);
+            if post[*r as usize] {
+                // The tuple is fully determined and acceptance is viable:
+                // emit and cut the run (trailing context costs O(1)).
+                emit(&opens, &closes, &mut out);
+                undo(&mut trail, mark, &mut opens, &mut closes);
+                continue;
+            }
+            stack.push(Frame {
+                pos: pos + 1,
+                state: *r,
+                edge: 0,
+                trail_mark: mark,
+                emitted_finals: false,
+            });
+            advanced = true;
+            break;
+        }
+        if !advanced {
+            let mark = stack.last().unwrap().trail_mark;
+            stack.pop();
+            undo(&mut trail, mark, &mut opens, &mut closes);
+        }
+    }
+
+    SpanRelation::from_tuples(out)
+}
+
+/// Boolean acceptance: whether the spanner outputs at least one tuple on
+/// `doc`. Runs a forward bitset pass only — `O(n · |δ|)` time, `O(|Q|)`
+/// space.
+pub fn accepts_evsa(evsa: &EVsa, doc: &[u8]) -> bool {
+    let ns = evsa.num_states();
+    if ns == 0 {
+        return false;
+    }
+    let mut cur = vec![false; ns];
+    cur[evsa.start() as usize] = true;
+    for &b in doc {
+        let mut next = vec![false; ns];
+        let mut any = false;
+        for q in 0..ns {
+            if !cur[q] {
+                continue;
+            }
+            for (_, mask, r) in evsa.transitions_from(q as StateId) {
+                if mask.contains(b) {
+                    next[*r as usize] = true;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            return false;
+        }
+        cur = next;
+    }
+    (0..ns).any(|q| cur[q] && !evsa.final_blocks(q as StateId).is_empty())
+}
+
+/// Naive reference evaluator: enumerates all span tuples over `doc` and
+/// tests each by ref-word membership in the normalized language of the
+/// automaton. Exponential in the number of variables — tests only.
+pub fn reference_eval(vsa: &Vsa, doc: &[u8]) -> SpanRelation {
+    let f = if vsa.is_functional() {
+        vsa.clone()
+    } else {
+        vsa.functionalize()
+    };
+    let evsa = EVsa::from_functional(&f);
+    let ext = ExtAlphabet::from_masks(evsa.vars().clone(), &evsa.byte_masks());
+    let nfa = evsa.to_nfa(&ext);
+    let nv = evsa.vars().len();
+    let n = doc.len();
+
+    let mut spans = Vec::new();
+    for i in 0..=n {
+        for j in i..=n {
+            spans.push(Span::new(i, j));
+        }
+    }
+    let mut out = Vec::new();
+    let mut assignment = vec![Span::new(0, 0); nv];
+    enumerate(&mut assignment, 0, &spans, &mut |t: &[Span]| {
+        let tuple = SpanTuple::new(t.to_vec());
+        let rw = crate::refword::RefWord::from_tuple(doc, &tuple);
+        let word: Vec<_> = rw
+            .syms()
+            .iter()
+            .map(|s| match s {
+                crate::refword::RefSym::Byte(b) => ext.class_sym_of_byte(*b),
+                crate::refword::RefSym::Op(op) => ext.op_sym(*op),
+            })
+            .collect();
+        if nfa.accepts(&word) {
+            out.push(tuple);
+        }
+    });
+    SpanRelation::from_tuples(out)
+}
+
+fn enumerate(assignment: &mut Vec<Span>, i: usize, spans: &[Span], f: &mut impl FnMut(&[Span])) {
+    if i == assignment.len() {
+        f(assignment);
+        return;
+    }
+    for &s in spans {
+        assignment[i] = s;
+        enumerate(assignment, i + 1, spans, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rgx::Rgx;
+    use crate::vars::VarId;
+
+    fn compile(pattern: &str) -> Vsa {
+        Rgx::parse(pattern).unwrap().to_vsa().unwrap()
+    }
+
+    #[test]
+    fn eval_simple_capture() {
+        let p = compile("x{a+}");
+        let rel = eval(&p, b"aaa");
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.tuples()[0].get(VarId(0)), Span::new(0, 3));
+    }
+
+    #[test]
+    fn eval_all_matches() {
+        // Σ* x{a} Σ* finds every 'a'.
+        let p = compile(".*x{a}.*");
+        let rel = eval(&p, b"abca");
+        assert_eq!(rel.len(), 2);
+        let spans: Vec<Span> = rel.iter().map(|t| t.get(VarId(0))).collect();
+        assert!(spans.contains(&Span::new(0, 1)));
+        assert!(spans.contains(&Span::new(3, 4)));
+    }
+
+    #[test]
+    fn eval_empty_document() {
+        let p = compile("x{a*}");
+        let rel = eval(&p, b"");
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.tuples()[0].get(VarId(0)), Span::new(0, 0));
+    }
+
+    #[test]
+    fn eval_no_match() {
+        let p = compile("x{a}");
+        assert!(eval(&p, b"b").is_empty());
+        assert!(eval(&p, b"aa").is_empty());
+    }
+
+    #[test]
+    fn eval_two_variables() {
+        let p = compile("x{a+}b+y{c+}");
+        let rel = eval(&p, b"aabbcc");
+        assert_eq!(rel.len(), 1);
+        let t = &rel.tuples()[0];
+        assert_eq!(t.get(VarId(0)), Span::new(0, 2));
+        assert_eq!(t.get(VarId(1)), Span::new(4, 6));
+    }
+
+    #[test]
+    fn eval_agrees_with_reference() {
+        for (pat, doc) in [
+            (".*x{a+}.*", b"aabaa".as_slice()),
+            ("x{a*}y{b*}", b"aabb"),
+            ("(a|b)*x{ab}(a|b)*", b"abab"),
+            ("x{(a|b)}y{(a|b)}", b"ab"),
+            (".*x{}.*", b"ab"),
+        ] {
+            let p = compile(pat);
+            assert_eq!(eval(&p, doc), reference_eval(&p, doc), "pattern {pat}");
+        }
+    }
+
+    #[test]
+    fn boolean_spanner_yields_unit_tuple() {
+        let p = compile("a+b");
+        let rel = eval(&p, b"aab");
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.tuples()[0], SpanTuple::unit());
+        assert!(eval(&p, b"ba").is_empty());
+    }
+
+    #[test]
+    fn boolean_acceptance() {
+        let p = compile("a+b");
+        let e = EVsa::from_functional(&p.functionalize());
+        assert!(accepts_evsa(&e, b"aab"));
+        assert!(!accepts_evsa(&e, b"ab c"));
+        assert!(!accepts_evsa(&e, b""));
+    }
+
+    #[test]
+    fn empty_spans_at_every_position() {
+        // Σ* x{} Σ* yields an empty span at every boundary.
+        let p = compile(".*x{}.*");
+        let rel = eval(&p, b"ab");
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn highly_ambiguous_automaton_dedups() {
+        // Union of the same pattern with itself 3 times: every tuple has
+        // multiple accepting runs; the relation must stay a set.
+        let p1 = compile(".*x{a+}.*");
+        let u = p1.union(&p1).unwrap().union(&p1).unwrap();
+        assert_eq!(eval(&u, b"aa b aa"), eval(&p1, b"aa b aa"));
+    }
+
+    #[test]
+    fn non_ascii_bytes_are_first_class() {
+        // Byte classes must cover the full 0..=255 range.
+        let mut v = Vsa::new(crate::vars::VarTable::new(["x"]).unwrap());
+        let q1 = v.add_state();
+        let q2 = v.add_state();
+        let hi = crate::byteset::ByteSet::range(0x80, 0xFF);
+        v.add_transition(
+            0,
+            crate::vsa::Label::Op(crate::vars::VarOp::Open(VarId(0))),
+            q1,
+        );
+        v.add_transition(q1, crate::vsa::Label::Bytes(hi), q1);
+        v.add_transition(
+            q1,
+            crate::vsa::Label::Op(crate::vars::VarOp::Close(VarId(0))),
+            q2,
+        );
+        v.set_final(q2, true);
+        let rel = eval(&v, &[0x80, 0xC3, 0xFF]);
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.tuples()[0].get(VarId(0)), Span::new(0, 3));
+        assert!(eval(&v, &[0x80, 0x20]).is_empty(), "0x20 not in the class");
+        assert!(eval(&v, &[0x00]).is_empty());
+    }
+
+    #[test]
+    fn long_document_runs_fast_and_iteratively() {
+        // The evaluator must be iterative (no recursion on document
+        // length) and output-sensitive (post-state cutoff): 1 MiB of 'a'
+        // with an all-boundaries extractor.
+        let doc = vec![b'a'; 1 << 20];
+        let p = compile("a*x{b*}a*");
+        let rel = eval(&p, &doc);
+        assert_eq!(rel.len(), doc.len() + 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Extended alphabets `Σ ∪ Γ_V` with byte-class compression.
+//!
+//! The decision procedures compare spanners as regular languages of
+//! (order-normalized, valid) ref-words. To hand those languages to the
+//! generic automata substrate we intern an *extended alphabet*: one dense
+//! symbol per variable operation plus one per **byte class**. Byte classes
+//! are the equivalence classes of bytes under "indistinguishable by every
+//! byte set appearing in the participating automata" — containment over
+//! the class alphabet coincides with containment over raw bytes because
+//! the classes refine every transition set involved.
+
+use crate::byteset::ByteSet;
+use crate::vars::{VarId, VarOp, VarTable};
+use crate::vsa::Vsa;
+use splitc_automata::nfa::Sym;
+use std::collections::HashMap;
+
+/// A decoded extended-alphabet symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtSym {
+    /// A variable operation.
+    Op(VarOp),
+    /// A byte class (the set of bytes in the class).
+    Class(ByteSet),
+}
+
+/// An interned extended alphabet over a variable table and a byte-class
+/// partition.
+///
+/// Symbol layout: `0 .. 2·|V|` are the operations (opens then closes, in
+/// `VarId` order — matching [`VarOp::dense_index`]), followed by one
+/// symbol per byte class.
+#[derive(Debug, Clone)]
+pub struct ExtAlphabet {
+    vars: VarTable,
+    classes: Vec<ByteSet>,
+    class_of: Vec<u16>, // 256 entries
+}
+
+impl ExtAlphabet {
+    /// Builds the alphabet for a set of automata that all use (a subset
+    /// of) `vars`. The byte classes refine every byte set used by any of
+    /// the automata.
+    pub fn for_automata(vars: &VarTable, automata: &[&Vsa]) -> ExtAlphabet {
+        let mut masks: Vec<ByteSet> = Vec::new();
+        for a in automata {
+            masks.extend(a.byte_masks());
+        }
+        Self::from_masks(vars.clone(), &masks)
+    }
+
+    /// Builds the alphabet from explicit byte sets.
+    pub fn from_masks(vars: VarTable, masks: &[ByteSet]) -> ExtAlphabet {
+        // Signature of byte b = which masks contain it.
+        let mut sig_to_class: HashMap<Vec<bool>, u16> = HashMap::new();
+        let mut classes: Vec<ByteSet> = Vec::new();
+        let mut class_of = vec![0u16; 256];
+        for b in 0u16..256 {
+            let b = b as u8;
+            let sig: Vec<bool> = masks.iter().map(|m| m.contains(b)).collect();
+            let id = *sig_to_class.entry(sig).or_insert_with(|| {
+                classes.push(ByteSet::EMPTY);
+                (classes.len() - 1) as u16
+            });
+            classes[id as usize].insert(b);
+            class_of[b as usize] = id;
+        }
+        ExtAlphabet {
+            vars,
+            classes,
+            class_of,
+        }
+    }
+
+    /// The variable table.
+    pub fn vars(&self) -> &VarTable {
+        &self.vars
+    }
+
+    /// Number of byte classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total alphabet size (for [`splitc_automata::Nfa::new`]).
+    pub fn alphabet_size(&self) -> u32 {
+        (2 * self.vars.len() + self.classes.len()) as u32
+    }
+
+    /// Symbol of a variable operation.
+    pub fn op_sym(&self, op: VarOp) -> Sym {
+        Sym(op.dense_index(self.vars.len()) as u32)
+    }
+
+    /// Symbol of the byte class containing `b`.
+    pub fn class_sym_of_byte(&self, b: u8) -> Sym {
+        Sym((2 * self.vars.len() + self.class_of[b as usize] as usize) as u32)
+    }
+
+    /// Symbols of all classes intersecting `mask`. Classes refine the
+    /// masks the alphabet was built from, so for those masks every
+    /// returned class is fully contained in the mask; for foreign masks
+    /// this is an over-approximation (debug-asserted against).
+    pub fn class_syms(&self, mask: &ByteSet) -> Vec<Sym> {
+        let base = 2 * self.vars.len();
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.and(mask).is_empty())
+            .map(|(i, c)| {
+                debug_assert_eq!(
+                    c.and(mask),
+                    *c,
+                    "byte class not refined by alphabet — automaton not registered"
+                );
+                Sym((base + i) as u32)
+            })
+            .collect()
+    }
+
+    /// Decodes a symbol.
+    pub fn decode(&self, sym: Sym) -> ExtSym {
+        let n = self.vars.len();
+        let i = sym.index();
+        if i < n {
+            ExtSym::Op(VarOp::Open(VarId(i as u32)))
+        } else if i < 2 * n {
+            ExtSym::Op(VarOp::Close(VarId((i - n) as u32)))
+        } else {
+            ExtSym::Class(self.classes[i - 2 * n])
+        }
+    }
+
+    /// A representative byte per class symbol (for materializing
+    /// counterexample documents).
+    pub fn class_representative(&self, sym: Sym) -> Option<u8> {
+        match self.decode(sym) {
+            ExtSym::Class(c) => c.first(),
+            ExtSym::Op(_) => None,
+        }
+    }
+
+    /// Decodes a word over the extended alphabet into `(document bytes,
+    /// ref-word)`, choosing a representative byte per class.
+    pub fn decode_word(&self, word: &[Sym]) -> (Vec<u8>, crate::refword::RefWord) {
+        let mut doc = Vec::new();
+        let mut syms = Vec::new();
+        for &s in word {
+            match self.decode(s) {
+                ExtSym::Op(op) => syms.push(crate::refword::RefSym::Op(op)),
+                ExtSym::Class(c) => {
+                    let b = c.first().expect("classes are non-empty");
+                    doc.push(b);
+                    syms.push(crate::refword::RefSym::Byte(b));
+                }
+            }
+        }
+        (doc, crate::refword::RefWord::new(syms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition_bytes() {
+        let masks = [
+            ByteSet::range(b'a', b'z'),
+            ByteSet::single(b'.'),
+            ByteSet::range(b'a', b'm'),
+        ];
+        let ext = ExtAlphabet::from_masks(VarTable::empty(), &masks);
+        // Classes: [a-m], [n-z], {.}, rest — 4 classes.
+        assert_eq!(ext.num_classes(), 4);
+        let mut total = 0;
+        for i in 0..ext.num_classes() {
+            let sym = Sym((2 * ext.vars().len() + i) as u32);
+            if let ExtSym::Class(c) = ext.decode(sym) {
+                total += c.len();
+            }
+        }
+        assert_eq!(total, 256);
+    }
+
+    #[test]
+    fn class_syms_cover_mask_exactly() {
+        let m1 = ByteSet::range(b'a', b'z');
+        let ext = ExtAlphabet::from_masks(VarTable::empty(), &[m1]);
+        let syms = ext.class_syms(&m1);
+        assert_eq!(syms.len(), 1);
+        assert_eq!(ext.class_sym_of_byte(b'q'), syms[0]);
+        assert_ne!(ext.class_sym_of_byte(b'!'), syms[0]);
+    }
+
+    #[test]
+    fn op_symbols_roundtrip() {
+        let vars = VarTable::new(["x", "y"]).unwrap();
+        let ext = ExtAlphabet::from_masks(vars, &[]);
+        for op in [
+            VarOp::Open(VarId(0)),
+            VarOp::Open(VarId(1)),
+            VarOp::Close(VarId(0)),
+            VarOp::Close(VarId(1)),
+        ] {
+            assert_eq!(ext.decode(ext.op_sym(op)), ExtSym::Op(op));
+        }
+        assert_eq!(ext.alphabet_size(), 4 + ext.num_classes() as u32);
+    }
+
+    #[test]
+    fn decode_word_produces_refword() {
+        let vars = VarTable::new(["x"]).unwrap();
+        let ext = ExtAlphabet::from_masks(vars.clone(), &[ByteSet::single(b'a')]);
+        let word = vec![
+            ext.op_sym(VarOp::Open(VarId(0))),
+            ext.class_sym_of_byte(b'a'),
+            ext.op_sym(VarOp::Close(VarId(0))),
+        ];
+        let (doc, rw) = ext.decode_word(&word);
+        assert_eq!(doc, b"a");
+        assert!(rw.is_valid(&vars));
+    }
+}

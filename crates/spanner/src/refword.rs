@@ -1,0 +1,276 @@
+//! Ref-words: documents interleaved with variable operations (paper §4).
+//!
+//! A ref-word over `Σ ∪ Γ_V` encodes a document together with one
+//! `(V, d)`-tuple: the morphism `clr` erases the variable operations, and
+//! the positions of `x⊢` / `⊣x` determine the span assigned to `x`. A
+//! ref-word is *valid* if every variable is opened exactly once and closed
+//! exactly once, with the opening first.
+//!
+//! Two ref-words that differ only in the order of adjacent variable
+//! operations denote the same tuple; the *normal form* sorts each maximal
+//! block of operations by the fixed order `≺` (see [`crate::vars`]).
+//! Spanner equivalence is equality of normalized valid ref-word languages,
+//! which is how all decision procedures in this library are implemented.
+
+use crate::span::Span;
+use crate::tuple::SpanTuple;
+use crate::vars::{display_op, VarId, VarOp, VarTable};
+
+/// One symbol of a ref-word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefSym {
+    /// A document byte.
+    Byte(u8),
+    /// A variable operation.
+    Op(VarOp),
+}
+
+/// A ref-word: a sequence of bytes and variable operations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct RefWord {
+    syms: Vec<RefSym>,
+}
+
+impl RefWord {
+    /// Creates a ref-word from symbols.
+    pub fn new(syms: Vec<RefSym>) -> RefWord {
+        RefWord { syms }
+    }
+
+    /// The symbols.
+    pub fn syms(&self) -> &[RefSym] {
+        &self.syms
+    }
+
+    /// The `clr` morphism: erases variable operations, leaving the
+    /// document.
+    pub fn clr(&self) -> Vec<u8> {
+        self.syms
+            .iter()
+            .filter_map(|s| match s {
+                RefSym::Byte(b) => Some(*b),
+                RefSym::Op(_) => None,
+            })
+            .collect()
+    }
+
+    /// Validity for a variable table: every variable opened exactly once
+    /// and closed exactly once, opening first.
+    pub fn is_valid(&self, table: &VarTable) -> bool {
+        #[derive(Clone, Copy, PartialEq)]
+        enum St {
+            Waiting,
+            Open,
+            Closed,
+        }
+        let mut st = vec![St::Waiting; table.len()];
+        for s in &self.syms {
+            if let RefSym::Op(op) = s {
+                let i = op.var().index();
+                if i >= st.len() {
+                    return false;
+                }
+                match op {
+                    VarOp::Open(_) if st[i] == St::Waiting => st[i] = St::Open,
+                    VarOp::Close(_) if st[i] == St::Open => st[i] = St::Closed,
+                    _ => return false,
+                }
+            }
+        }
+        st.iter().all(|s| *s == St::Closed)
+    }
+
+    /// Extracts the tuple `t_r` encoded by a valid ref-word. Returns
+    /// `None` if the ref-word is not valid for the table.
+    pub fn tuple(&self, table: &VarTable) -> Option<SpanTuple> {
+        if !self.is_valid(table) {
+            return None;
+        }
+        let mut opens = vec![usize::MAX; table.len()];
+        let mut closes = vec![usize::MAX; table.len()];
+        let mut pos = 0usize;
+        for s in &self.syms {
+            match s {
+                RefSym::Byte(_) => pos += 1,
+                RefSym::Op(VarOp::Open(v)) => opens[v.index()] = pos,
+                RefSym::Op(VarOp::Close(v)) => closes[v.index()] = pos,
+            }
+        }
+        Some(SpanTuple::new(
+            (0..table.len())
+                .map(|i| Span::new(opens[i], closes[i]))
+                .collect(),
+        ))
+    }
+
+    /// Normal form: each maximal block of adjacent variable operations is
+    /// sorted by `≺`. Denotes the same tuple.
+    pub fn normalize(&self) -> RefWord {
+        let mut out: Vec<RefSym> = Vec::with_capacity(self.syms.len());
+        let mut block: Vec<VarOp> = Vec::new();
+        for s in &self.syms {
+            match s {
+                RefSym::Op(op) => block.push(*op),
+                RefSym::Byte(b) => {
+                    block.sort_unstable();
+                    out.extend(block.drain(..).map(RefSym::Op));
+                    out.push(RefSym::Byte(*b));
+                }
+            }
+        }
+        block.sort_unstable();
+        out.extend(block.drain(..).map(RefSym::Op));
+        RefWord { syms: out }
+    }
+
+    /// Builds the (normalized) ref-word encoding `tuple` on `doc`.
+    pub fn from_tuple(doc: &[u8], tuple: &SpanTuple) -> RefWord {
+        let mut syms: Vec<RefSym> = Vec::with_capacity(doc.len() + 2 * tuple.arity());
+        for pos in 0..=doc.len() {
+            let mut ops: Vec<VarOp> = Vec::new();
+            for (i, sp) in tuple.spans().iter().enumerate() {
+                if sp.start == pos {
+                    ops.push(VarOp::Open(VarId(i as u32)));
+                }
+                if sp.end == pos {
+                    ops.push(VarOp::Close(VarId(i as u32)));
+                }
+            }
+            ops.sort_unstable();
+            syms.extend(ops.into_iter().map(RefSym::Op));
+            if pos < doc.len() {
+                syms.push(RefSym::Byte(doc[pos]));
+            }
+        }
+        RefWord { syms }
+    }
+
+    /// Renders with variable names (bytes shown as characters).
+    pub fn display(&self, table: &VarTable) -> String {
+        let mut out = String::new();
+        for s in &self.syms {
+            match s {
+                RefSym::Byte(b) => {
+                    if b.is_ascii_graphic() || *b == b' ' {
+                        out.push(*b as char);
+                    } else {
+                        out.push_str(&format!("\\x{b:02x}"));
+                    }
+                }
+                RefSym::Op(op) => out.push_str(&display_op(*op, table)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_xy() -> VarTable {
+        VarTable::new(["x", "y"]).unwrap()
+    }
+
+    fn x() -> VarId {
+        VarId(0)
+    }
+    fn y() -> VarId {
+        VarId(1)
+    }
+
+    #[test]
+    fn clr_erases_ops() {
+        let r = RefWord::new(vec![
+            RefSym::Op(VarOp::Open(x())),
+            RefSym::Byte(b'a'),
+            RefSym::Op(VarOp::Close(x())),
+            RefSym::Byte(b'b'),
+        ]);
+        assert_eq!(r.clr(), b"ab");
+    }
+
+    #[test]
+    fn validity() {
+        let t = VarTable::new(["x"]).unwrap();
+        let ok = RefWord::new(vec![
+            RefSym::Op(VarOp::Open(x())),
+            RefSym::Byte(b'a'),
+            RefSym::Op(VarOp::Close(x())),
+        ]);
+        assert!(ok.is_valid(&t));
+        // Close before open.
+        let bad = RefWord::new(vec![
+            RefSym::Op(VarOp::Close(x())),
+            RefSym::Op(VarOp::Open(x())),
+        ]);
+        assert!(!bad.is_valid(&t));
+        // Missing close.
+        let bad2 = RefWord::new(vec![RefSym::Op(VarOp::Open(x()))]);
+        assert!(!bad2.is_valid(&t));
+        // Double open. (Paper footnote 5: ε ∈ R((x{a})*) is not valid.)
+        let bad3 = RefWord::new(vec![
+            RefSym::Op(VarOp::Open(x())),
+            RefSym::Op(VarOp::Close(x())),
+            RefSym::Op(VarOp::Open(x())),
+            RefSym::Op(VarOp::Close(x())),
+        ]);
+        assert!(!bad3.is_valid(&t));
+        let empty = RefWord::default();
+        assert!(!empty.is_valid(&t));
+        assert!(empty.is_valid(&VarTable::empty()));
+    }
+
+    #[test]
+    fn tuple_extraction() {
+        // x{a} b y{c}  ->  x = [0,1), y = [2,3)
+        let r = RefWord::new(vec![
+            RefSym::Op(VarOp::Open(x())),
+            RefSym::Byte(b'a'),
+            RefSym::Op(VarOp::Close(x())),
+            RefSym::Byte(b'b'),
+            RefSym::Op(VarOp::Open(y())),
+            RefSym::Byte(b'c'),
+            RefSym::Op(VarOp::Close(y())),
+        ]);
+        let t = r.tuple(&table_xy()).unwrap();
+        assert_eq!(t.get(x()), Span::new(0, 1));
+        assert_eq!(t.get(y()), Span::new(2, 3));
+    }
+
+    #[test]
+    fn normalization_sorts_blocks() {
+        // y⊢ x⊢ a ⊣x ⊣y — the leading block is out of ≺ order.
+        let r = RefWord::new(vec![
+            RefSym::Op(VarOp::Open(y())),
+            RefSym::Op(VarOp::Open(x())),
+            RefSym::Byte(b'a'),
+            RefSym::Op(VarOp::Close(x())),
+            RefSym::Op(VarOp::Close(y())),
+        ]);
+        let n = r.normalize();
+        assert_eq!(
+            n.syms()[0],
+            RefSym::Op(VarOp::Open(x())),
+            "opens sorted by variable"
+        );
+        assert_eq!(n.tuple(&table_xy()), r.tuple(&table_xy()));
+    }
+
+    #[test]
+    fn from_tuple_roundtrip() {
+        let doc = b"abcd";
+        let t = SpanTuple::new(vec![Span::new(1, 3), Span::new(2, 2)]);
+        let r = RefWord::from_tuple(doc, &t);
+        assert_eq!(r.clr(), doc);
+        assert_eq!(r.tuple(&table_xy()).unwrap(), t);
+        assert_eq!(r, r.normalize(), "from_tuple emits normal form");
+    }
+
+    #[test]
+    fn display_roundtrip_readable() {
+        let t = VarTable::new(["x"]).unwrap();
+        let r = RefWord::from_tuple(b"ab", &SpanTuple::new(vec![Span::new(0, 1)]));
+        assert_eq!(r.display(&t), "x⊢a⊣xb");
+    }
+}

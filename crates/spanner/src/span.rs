@@ -1,0 +1,193 @@
+//! Spans and the shift operator `≫` (paper §2, Figure 1).
+//!
+//! The paper writes a span of a document `d = σ₁ ⋯ σₙ` as `[i, j⟩` with
+//! `1 ≤ i ≤ j ≤ n + 1`, denoting the substring `σᵢ ⋯ σ_{j−1}`. We store
+//! spans **0-based**: [`Span::start`]` = i − 1` and [`Span::end`]` = j − 1`,
+//! so `d[span.start .. span.end]` is the selected substring. All predicates
+//! below are literal translations of the paper's definitions under this
+//! shift of origin.
+
+use std::fmt;
+
+/// A span `[start, end)` of a document, 0-based, end-exclusive.
+///
+/// Corresponds to the paper's `[start+1, end+1⟩` in 1-based notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// Inclusive 0-based start offset.
+    pub start: usize,
+    /// Exclusive 0-based end offset.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span; panics if `start > end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// Length of the selected substring.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span selects the empty string.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The paper's *shift* operator `s′ ≫ s` (Figure 1): re-bases `self`,
+    /// a span of the substring `d_s`, to a span of the original document
+    /// `d`, by shifting it `s.start` characters to the right.
+    ///
+    /// ```
+    /// use splitc_spanner::span::Span;
+    /// // Paper Figure 1 (1-based): [2,6⟩ ≫ [7,13⟩ = [8,12⟩.
+    /// // 0-based: [1,5) ≫ [6,12) = [7,11).
+    /// let s_prime = Span::new(1, 5);
+    /// let s = Span::new(6, 12);
+    /// assert_eq!(s_prime.shift(s), Span::new(7, 11));
+    /// ```
+    #[inline]
+    pub fn shift(self, s: Span) -> Span {
+        Span {
+            start: self.start + s.start,
+            end: self.end + s.start,
+        }
+    }
+
+    /// Inverse of [`Span::shift`]: re-bases `self`, a span of `d` lying
+    /// inside `s`, to a span of the substring `d_s`. Returns `None` if
+    /// `self` is not contained in `s`.
+    pub fn unshift(self, s: Span) -> Option<Span> {
+        if s.contains_span(self) {
+            Some(Span {
+                start: self.start - s.start,
+                end: self.end - s.start,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The paper's overlap predicate: spans `[i, j⟩` and `[i′, j′⟩`
+    /// *overlap* if `i ≤ i′ < j` or `i′ ≤ i < j′`.
+    ///
+    /// Note the asymmetry around empty spans: an empty span overlaps a
+    /// span that strictly surrounds its position, but two empty spans
+    /// never overlap.
+    #[inline]
+    pub fn overlaps(self, other: Span) -> bool {
+        (self.start <= other.start && other.start < self.end)
+            || (other.start <= self.start && self.start < other.end)
+    }
+
+    /// The paper's disjointness predicate: the negation of
+    /// [`Span::overlaps`].
+    #[inline]
+    pub fn disjoint(self, other: Span) -> bool {
+        !self.overlaps(other)
+    }
+
+    /// The paper's containment: `[i, j⟩` contains `[i′, j′⟩` if
+    /// `i ≤ i′ ≤ j′ ≤ j`.
+    #[inline]
+    pub fn contains_span(self, other: Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Extracts the selected substring of `doc` (`d_{[i,j⟩}`).
+    pub fn slice(self, doc: &[u8]) -> &[u8] {
+        &doc[self.start..self.end]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Display in the paper's 1-based notation.
+        write!(f, "[{}, {}⟩", self.start + 1, self.end + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_matches_paper_figure_1() {
+        // Figure 1: s = [7,13⟩, s' = [2,6⟩, s' ≫ s = [8,12⟩ (1-based).
+        let s = Span::new(6, 12);
+        let s_prime = Span::new(1, 5);
+        assert_eq!(s_prime.shift(s), Span::new(7, 11));
+        assert_eq!(format!("{}", s_prime.shift(s)), "[8, 12⟩");
+    }
+
+    #[test]
+    fn shift_is_associative() {
+        // (s1 ≫ s2) ≫ s3 = s1 ≫ (s2 ≫ s3): used in Lemma 6.5.
+        let s1 = Span::new(1, 2);
+        let s2 = Span::new(3, 8);
+        let s3 = Span::new(2, 20);
+        assert_eq!(s1.shift(s2).shift(s3), s1.shift(s2.shift(s3)));
+    }
+
+    #[test]
+    fn unshift_roundtrip() {
+        let outer = Span::new(5, 15);
+        let inner = Span::new(7, 9);
+        let local = inner.unshift(outer).unwrap();
+        assert_eq!(local, Span::new(2, 4));
+        assert_eq!(local.shift(outer), inner);
+        assert_eq!(Span::new(4, 16).unshift(outer), None);
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = Span::new(0, 3);
+        let b = Span::new(2, 5);
+        let c = Span::new(3, 6);
+        assert!(a.overlaps(b));
+        assert!(b.overlaps(a));
+        assert!(!a.overlaps(c));
+        assert!(a.disjoint(c));
+    }
+
+    #[test]
+    fn empty_span_overlap_matches_paper() {
+        // 1-based [2,2⟩ inside [1,3⟩ overlaps; [2,2⟩ at the edge of
+        // [1,2⟩ does not; two equal empty spans do not overlap.
+        let empty = Span::new(1, 1);
+        assert!(Span::new(0, 2).overlaps(empty));
+        assert!(empty.overlaps(Span::new(0, 2)));
+        assert!(!Span::new(0, 1).overlaps(empty));
+        assert!(!empty.overlaps(empty));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Span::new(1, 9);
+        assert!(outer.contains_span(Span::new(1, 9)));
+        assert!(outer.contains_span(Span::new(3, 3)));
+        assert!(!outer.contains_span(Span::new(0, 2)));
+        assert!(!Span::new(3, 3).contains_span(outer));
+    }
+
+    #[test]
+    fn slice_and_len() {
+        let doc = b"hello world";
+        let s = Span::new(6, 11);
+        assert_eq!(s.slice(doc), b"world");
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert!(Span::new(3, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_span_panics() {
+        let _ = Span::new(4, 2);
+    }
+}

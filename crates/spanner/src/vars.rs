@@ -1,0 +1,296 @@
+//! Span variables and variable operations (paper §2, §4).
+//!
+//! A spanner is associated with a finite set `V ⊆ SVars` of variables.
+//! Ref-words extend documents with the *variable operations*
+//! `Γ_V = {x⊢, ⊣x | x ∈ V}`. Deterministic VSet-automata (paper §4.2)
+//! additionally fix a total order `≺` on `Γ_V` with `x⊢ ≺ ⊣x`; we order
+//! operations by `(variable, kind)` with `Open < Close`, where variables
+//! compare by **name** — this makes `≺` canonical across spanners that are
+//! later combined.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of a variable within a [`VarTable`] (dense, name-sorted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A variable operation: `x⊢` (open) or `⊣x` (close).
+///
+/// `Ord` implements the paper's total order `≺`: operations compare by
+/// `(variable, kind)` with `Open < Close`, hence `x⊢ ≺ ⊣x` for every `x`
+/// as required by determinism condition (2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VarOp {
+    /// `x⊢`: opening of the variable.
+    Open(VarId),
+    /// `⊣x`: closing of the variable.
+    Close(VarId),
+}
+
+// NOTE on derive order: `Open(x) < Close(y)` whenever x == y because the
+// derived enum order compares the discriminant first. For x != y we want
+// comparison by variable first; the derived order compares Open(x) with
+// Open(y) by payload but Open(x) < Close(y) for ALL x, y. Any fixed total
+// order with x⊢ ≺ ⊣x per variable is a valid choice of ≺ (the paper only
+// fixes one such order), and "all opens before all closes, each group by
+// variable" satisfies that — see `order_property` test.
+
+impl VarOp {
+    /// The variable this operation refers to.
+    #[inline]
+    pub fn var(self) -> VarId {
+        match self {
+            VarOp::Open(v) | VarOp::Close(v) => v,
+        }
+    }
+
+    /// Whether this is an opening operation.
+    #[inline]
+    pub fn is_open(self) -> bool {
+        matches!(self, VarOp::Open(_))
+    }
+
+    /// Dense index of the operation within `Γ_V` for a table of `n`
+    /// variables: opens occupy `0..n`, closes `n..2n`.
+    #[inline]
+    pub fn dense_index(self, num_vars: usize) -> usize {
+        match self {
+            VarOp::Open(v) => v.index(),
+            VarOp::Close(v) => num_vars + v.index(),
+        }
+    }
+}
+
+/// An immutable, name-sorted table of span variables.
+///
+/// Variable identity is the **name**; `VarId`s are dense indices into the
+/// sorted name list, so the order on `VarId` agrees with the order on
+/// names. Tables are cheap to clone (`Arc` inside wrappers is used where
+/// sharing matters).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VarTable {
+    names: Arc<[String]>,
+}
+
+impl VarTable {
+    /// Builds a table from names; duplicates are rejected.
+    pub fn new<I, S>(names: I) -> Result<VarTable, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut v: Vec<String> = names.into_iter().map(Into::into).collect();
+        v.sort();
+        for w in v.windows(2) {
+            if w[0] == w[1] {
+                return Err(format!("duplicate variable name: {}", w[0]));
+            }
+        }
+        Ok(VarTable { names: v.into() })
+    }
+
+    /// The empty variable set (Boolean spanners).
+    pub fn empty() -> VarTable {
+        VarTable {
+            names: Vec::new().into(),
+        }
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table has no variables.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of a variable.
+    pub fn name(&self, v: VarId) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Looks a variable up by name.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.names
+            .binary_search_by(|n| n.as_str().cmp(name))
+            .ok()
+            .map(|i| VarId(i as u32))
+    }
+
+    /// All variable ids in order.
+    pub fn iter(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.names.len() as u32).map(VarId)
+    }
+
+    /// All names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Merges two tables; returns the merged table and remappings for each
+    /// input (`old VarId -> new VarId`).
+    pub fn merge(&self, other: &VarTable) -> (VarTable, VarMap, VarMap) {
+        let mut all: Vec<String> = self.names.iter().cloned().collect();
+        all.extend(other.names.iter().cloned());
+        all.sort();
+        all.dedup();
+        let merged = VarTable { names: all.into() };
+        let map_a = VarMap::build(self, &merged);
+        let map_b = VarMap::build(other, &merged);
+        (merged, map_a, map_b)
+    }
+
+    /// Table restricted to a subset of variables (projection).
+    pub fn project(&self, keep: &[VarId]) -> (VarTable, VarMap) {
+        let names: Vec<String> = keep.iter().map(|v| self.names[v.index()].clone()).collect();
+        let table = VarTable::new(names).expect("subset of unique names");
+        let map = VarMap::build_partial(self, &table);
+        (table, map)
+    }
+
+    /// Shared variables of two tables (by name), as ids in `self`.
+    pub fn shared(&self, other: &VarTable) -> Vec<VarId> {
+        self.iter()
+            .filter(|v| other.lookup(self.name(*v)).is_some())
+            .collect()
+    }
+}
+
+/// A mapping from variable ids of one table to (optionally) another.
+#[derive(Debug, Clone)]
+pub struct VarMap {
+    map: Vec<Option<VarId>>,
+}
+
+impl VarMap {
+    fn build(from: &VarTable, to: &VarTable) -> VarMap {
+        VarMap {
+            map: from
+                .names()
+                .iter()
+                .map(|n| Some(to.lookup(n).expect("merged table contains name")))
+                .collect(),
+        }
+    }
+
+    fn build_partial(from: &VarTable, to: &VarTable) -> VarMap {
+        VarMap {
+            map: from.names().iter().map(|n| to.lookup(n)).collect(),
+        }
+    }
+
+    /// Image of `v`, if any.
+    #[inline]
+    pub fn get(&self, v: VarId) -> Option<VarId> {
+        self.map[v.index()]
+    }
+
+    /// Image of an operation, if its variable survives.
+    pub fn map_op(&self, op: VarOp) -> Option<VarOp> {
+        self.get(op.var()).map(|nv| match op {
+            VarOp::Open(_) => VarOp::Open(nv),
+            VarOp::Close(_) => VarOp::Close(nv),
+        })
+    }
+}
+
+/// Formats an operation with its table for display.
+pub fn display_op(op: VarOp, table: &VarTable) -> String {
+    match op {
+        VarOp::Open(v) => format!("{}⊢", table.name(v)),
+        VarOp::Close(v) => format!("⊣{}", table.name(v)),
+    }
+}
+
+impl fmt::Display for VarTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}}", self.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_name_sorted() {
+        let t = VarTable::new(["y", "x", "z"]).unwrap();
+        assert_eq!(t.names(), &["x", "y", "z"]);
+        assert_eq!(t.lookup("y"), Some(VarId(1)));
+        assert_eq!(t.lookup("w"), None);
+        assert_eq!(t.name(VarId(2)), "z");
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        assert!(VarTable::new(["x", "x"]).is_err());
+    }
+
+    #[test]
+    fn order_property() {
+        // The paper requires x⊢ ≺ ⊣x for every variable.
+        let x = VarId(0);
+        let y = VarId(1);
+        assert!(VarOp::Open(x) < VarOp::Close(x));
+        assert!(VarOp::Open(y) < VarOp::Close(y));
+        // Our fixed choice: all opens (by var) precede all closes (by var).
+        assert!(VarOp::Open(y) < VarOp::Close(x));
+        assert!(VarOp::Open(x) < VarOp::Open(y));
+        assert!(VarOp::Close(x) < VarOp::Close(y));
+    }
+
+    #[test]
+    fn merge_and_remap() {
+        let a = VarTable::new(["x", "z"]).unwrap();
+        let b = VarTable::new(["y", "z"]).unwrap();
+        let (m, ma, mb) = a.merge(&b);
+        assert_eq!(m.names(), &["x", "y", "z"]);
+        assert_eq!(ma.get(VarId(0)), Some(VarId(0))); // x
+        assert_eq!(ma.get(VarId(1)), Some(VarId(2))); // z
+        assert_eq!(mb.get(VarId(0)), Some(VarId(1))); // y
+        assert_eq!(mb.get(VarId(1)), Some(VarId(2))); // z
+        assert_eq!(
+            mb.map_op(VarOp::Close(VarId(0))),
+            Some(VarOp::Close(VarId(1)))
+        );
+    }
+
+    #[test]
+    fn project_drops_vars() {
+        let t = VarTable::new(["x", "y", "z"]).unwrap();
+        let (p, map) = t.project(&[VarId(0), VarId(2)]);
+        assert_eq!(p.names(), &["x", "z"]);
+        assert_eq!(map.get(VarId(0)), Some(VarId(0)));
+        assert_eq!(map.get(VarId(1)), None);
+        assert_eq!(map.get(VarId(2)), Some(VarId(1)));
+        assert_eq!(map.map_op(VarOp::Open(VarId(1))), None);
+    }
+
+    #[test]
+    fn shared_vars() {
+        let a = VarTable::new(["x", "y"]).unwrap();
+        let b = VarTable::new(["y", "z"]).unwrap();
+        let s = a.shared(&b);
+        assert_eq!(s, vec![VarId(1)]);
+        assert_eq!(a.name(s[0]), "y");
+    }
+
+    #[test]
+    fn dense_index_layout() {
+        assert_eq!(VarOp::Open(VarId(1)).dense_index(3), 1);
+        assert_eq!(VarOp::Close(VarId(1)).dense_index(3), 4);
+    }
+}

@@ -1,0 +1,358 @@
+//! Seeded synthetic corpus generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the document generators.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Approximate size of the generated document in bytes.
+    pub target_bytes: usize,
+    /// RNG seed (generation is deterministic per seed).
+    pub seed: u64,
+    /// Average number of tokens per sentence.
+    pub avg_sentence_tokens: usize,
+    /// Sentences per paragraph.
+    pub paragraph_sentences: usize,
+    /// Probability that a token is a capitalized entity.
+    pub entity_rate: f64,
+    /// Probability that a token is a number.
+    pub number_rate: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            target_bytes: 1 << 20,
+            seed: 0xC0FFEE,
+            avg_sentence_tokens: 20,
+            paragraph_sentences: 5,
+            entity_rate: 0.08,
+            number_rate: 0.05,
+        }
+    }
+}
+
+const SYLLABLES: &[&str] = &[
+    "ta", "ri", "mo", "ne", "lu", "ka", "vi", "so", "de", "pa", "zu", "qi", "bo", "wex", "han",
+    "gil",
+];
+
+fn word(rng: &mut StdRng, capitalize: bool) -> String {
+    // Zipf-ish length: mostly 2 syllables, occasionally more.
+    let syls = 1 + (rng.gen::<f64>().powi(2) * 3.0) as usize;
+    let mut w = String::new();
+    for _ in 0..=syls {
+        w.push_str(SYLLABLES[rng.gen_range(0..SYLLABLES.len())]);
+    }
+    if capitalize {
+        let mut c = w.chars();
+        let first = c.next().unwrap().to_ascii_uppercase();
+        format!("{first}{}", c.as_str())
+    } else {
+        w
+    }
+}
+
+fn token(rng: &mut StdRng, cfg: &CorpusConfig) -> String {
+    let r = rng.gen::<f64>();
+    if r < cfg.number_rate {
+        format!("{}", rng.gen_range(1..100000))
+    } else if r < cfg.number_rate + cfg.entity_rate {
+        word(rng, true)
+    } else {
+        word(rng, false)
+    }
+}
+
+fn sentence(rng: &mut StdRng, cfg: &CorpusConfig) -> String {
+    let n = (cfg.avg_sentence_tokens / 2).max(1) + rng.gen_range(0..cfg.avg_sentence_tokens.max(1));
+    let toks: Vec<String> = (0..n).map(|_| token(rng, cfg)).collect();
+    toks.join(" ")
+}
+
+/// A Wikipedia-like document: paragraphs of sentences. Sentences are
+/// terminated by `.`, paragraphs separated by blank lines — the shapes
+/// the built-in formal splitters understand.
+pub fn wiki_corpus(cfg: &CorpusConfig) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = String::with_capacity(cfg.target_bytes + 1024);
+    while out.len() < cfg.target_bytes {
+        let mut para = String::new();
+        for i in 0..cfg.paragraph_sentences {
+            if i > 0 {
+                para.push(' ');
+            }
+            para.push_str(&sentence(&mut rng, cfg));
+            para.push('.');
+        }
+        if !out.is_empty() {
+            out.push_str("\n\n");
+        }
+        out.push_str(&para);
+    }
+    out.into_bytes()
+}
+
+/// A PubMed-like document: longer, number-heavy sentences, flat
+/// structure (one big "abstract stream").
+pub fn pubmed_corpus(target_bytes: usize, seed: u64) -> Vec<u8> {
+    let cfg = CorpusConfig {
+        target_bytes,
+        seed,
+        avg_sentence_tokens: 30,
+        paragraph_sentences: 4,
+        entity_rate: 0.04,
+        number_rate: 0.15,
+    };
+    wiki_corpus(&cfg)
+}
+
+/// A Reuters-like collection: `n` short articles, each a few sentences,
+/// where roughly one sentence in three contains a financial transaction
+/// `Org (paid|acquired) Org <amount>` recognizable by
+/// [`crate::spanners::transaction_extractor`].
+pub fn articles_corpus(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let cfg = CorpusConfig {
+        avg_sentence_tokens: 12,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let sentences = rng.gen_range(4..10);
+            let mut doc = String::new();
+            for i in 0..sentences {
+                if i > 0 {
+                    doc.push(' ');
+                }
+                if rng.gen::<f64>() < 0.33 {
+                    // A transaction sentence.
+                    let verb = if rng.gen::<bool>() {
+                        "paid"
+                    } else {
+                        "acquired"
+                    };
+                    doc.push_str(&format!(
+                        "{} {} {} {} {}",
+                        word(&mut rng, true),
+                        verb,
+                        word(&mut rng, true),
+                        rng.gen_range(100..1_000_000),
+                        sentence(&mut rng, &cfg),
+                    ));
+                } else {
+                    doc.push_str(&sentence(&mut rng, &cfg));
+                }
+                doc.push('.');
+            }
+            doc.into_bytes()
+        })
+        .collect()
+}
+
+/// A *skewed* Reuters-like collection: like [`articles_corpus`], but a
+/// small fraction (~2%) of articles are one to two orders of magnitude
+/// longer. Long-document skew is where per-sentence task granularity
+/// visibly beats per-article granularity even under an idealized
+/// scheduler (see experiment E3).
+pub fn skewed_articles_corpus(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let cfg = CorpusConfig {
+        avg_sentence_tokens: 12,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let sentences = if rng.gen::<f64>() < 0.02 {
+                rng.gen_range(300..800)
+            } else {
+                rng.gen_range(4..10)
+            };
+            let mut doc = String::new();
+            for i in 0..sentences {
+                if i > 0 {
+                    doc.push(' ');
+                }
+                if rng.gen::<f64>() < 0.33 {
+                    let verb = if rng.gen::<bool>() {
+                        "paid"
+                    } else {
+                        "acquired"
+                    };
+                    doc.push_str(&format!(
+                        "{} {} {} {} {}",
+                        word(&mut rng, true),
+                        verb,
+                        word(&mut rng, true),
+                        rng.gen_range(100..1_000_000),
+                        sentence(&mut rng, &cfg),
+                    ));
+                } else {
+                    doc.push_str(&sentence(&mut rng, &cfg));
+                }
+                doc.push('.');
+            }
+            doc.into_bytes()
+        })
+        .collect()
+}
+
+/// An Amazon-reviews-like collection: `n` short reviews; roughly half
+/// contain a negative-sentiment pattern `<target> (is|was)
+/// (bad|poor|awful)` recognizable by
+/// [`crate::spanners::negative_sentiment_targets`].
+pub fn reviews_corpus(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let cfg = CorpusConfig {
+        avg_sentence_tokens: 8,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let sentences = rng.gen_range(2..6);
+            let mut doc = String::new();
+            for i in 0..sentences {
+                if i > 0 {
+                    doc.push(' ');
+                }
+                if rng.gen::<f64>() < 0.5 {
+                    let adj = ["bad", "poor", "awful"][rng.gen_range(0..3)];
+                    let cop = if rng.gen::<bool>() { "is" } else { "was" };
+                    doc.push_str(&format!(
+                        "{} {} {} {}",
+                        sentence(&mut rng, &cfg),
+                        word(&mut rng, false),
+                        cop,
+                        adj
+                    ));
+                } else {
+                    doc.push_str(&sentence(&mut rng, &cfg));
+                }
+                doc.push('.');
+            }
+            doc.into_bytes()
+        })
+        .collect()
+}
+
+/// An HTTP-like log: `n` messages separated by blank lines; each message
+/// is a lowercase request line (`get <path>` or `post <path>`) followed
+/// by a few `header value` lines.
+pub fn http_log(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push_str("\n\n");
+        }
+        let method = if rng.gen::<bool>() { "get" } else { "post" };
+        out.push_str(&format!("{method} {}", word(&mut rng, false)));
+        for _ in 0..rng.gen_range(1..4) {
+            out.push_str(&format!(
+                "\n{} {}",
+                word(&mut rng, false),
+                word(&mut rng, false)
+            ));
+        }
+    }
+    out.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitc_spanner::splitter::native;
+
+    #[test]
+    fn wiki_corpus_is_deterministic_and_sized() {
+        let cfg = CorpusConfig {
+            target_bytes: 10_000,
+            ..Default::default()
+        };
+        let a = wiki_corpus(&cfg);
+        let b = wiki_corpus(&cfg);
+        assert_eq!(a, b);
+        assert!(a.len() >= 10_000);
+        assert!(a.len() < 14_000, "should not overshoot much: {}", a.len());
+    }
+
+    #[test]
+    fn wiki_corpus_splits_cleanly() {
+        let cfg = CorpusConfig {
+            target_bytes: 5_000,
+            ..Default::default()
+        };
+        let doc = wiki_corpus(&cfg);
+        let sentences = native::sentences(&doc);
+        assert!(sentences.len() > 10);
+        // No sentence contains a period.
+        for s in &sentences {
+            assert!(!s.slice(&doc).contains(&b'.'));
+        }
+        let paragraphs = native::paragraphs(&doc);
+        assert!(paragraphs.len() >= 2);
+        // ASCII only — bytes are chars.
+        assert!(doc.iter().all(|b| b.is_ascii()));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = wiki_corpus(&CorpusConfig {
+            target_bytes: 1000,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = wiki_corpus(&CorpusConfig {
+            target_bytes: 1000,
+            seed: 2,
+            ..Default::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn articles_contain_transactions() {
+        let docs = articles_corpus(50, 7);
+        assert_eq!(docs.len(), 50);
+        let with_verb = docs
+            .iter()
+            .filter(|d| {
+                d.windows(6).any(|w| w == b" paid ") || d.windows(10).any(|w| w == b" acquired ")
+            })
+            .count();
+        assert!(with_verb > 10, "transactions present in {with_verb} docs");
+    }
+
+    #[test]
+    fn reviews_contain_negative_sentiment() {
+        let docs = reviews_corpus(50, 9);
+        let negative = docs
+            .iter()
+            .filter(|d| {
+                [&b" bad"[..], &b" poor"[..], &b" awful"[..]]
+                    .iter()
+                    .any(|pat| d.windows(pat.len()).any(|w| &w == pat))
+            })
+            .count();
+        assert!(negative > 10);
+    }
+
+    #[test]
+    fn http_log_paragraph_structure() {
+        let log = http_log(10, 3);
+        let messages = native::paragraphs(&log);
+        assert_eq!(messages.len(), 10);
+        for m in &messages {
+            let text = m.slice(&log);
+            assert!(text.starts_with(b"get ") || text.starts_with(b"post "));
+        }
+    }
+
+    #[test]
+    fn pubmed_is_number_heavy() {
+        let doc = pubmed_corpus(20_000, 5);
+        let digits = doc.iter().filter(|b| b.is_ascii_digit()).count();
+        assert!(digits * 20 > doc.len(), "expect >5% digits");
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! Synthetic corpora and workload spanners for the split-correctness
+//! experiments.
+//!
+//! The paper's Introduction reports speedups on Wikipedia, PubMed,
+//! Reuters and Amazon Fine Food Reviews data. Those corpora are not
+//! redistributable here; this crate generates *synthetic equivalents*
+//! that preserve the properties the experiments depend on — segment
+//! count and length distributions, token structure compatible with the
+//! formal splitters (sentences end with `.`, tokens are alphanumeric and
+//! space-separated, paragraphs/messages are separated by blank lines) —
+//! as documented in `DESIGN.md` §3.
+//!
+//! * [`corpus`] — seeded, size-parameterized document and collection
+//!   generators.
+//! * [`spanners`] — the workload extractors: N-gram enumeration,
+//!   financial-transaction events, negative-sentiment targets, person
+//!   names, HTTP request lines.
+
+pub mod corpus;
+pub mod spanners;
+
+pub use corpus::{
+    articles_corpus, http_log, pubmed_corpus, reviews_corpus, skewed_articles_corpus, wiki_corpus,
+    CorpusConfig,
+};

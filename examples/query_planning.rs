@@ -1,0 +1,77 @@
+//! Reasoning about splitters for query planning (paper §6) and
+//! split-constrained black boxes (§7.1).
+//!
+//! A text-analysis system holding several materialized splitters can
+//! reorder or nest them when they commute or subsume each other, and can
+//! infer splittability of joins involving opaque (e.g. ML-based)
+//! extractors from declared split constraints.
+//!
+//! ```sh
+//! cargo run --release --example query_planning
+//! ```
+
+use split_correctness::core::blackbox::{
+    infer_join_splittable, Signature, SpannerSymbol, SplitConstraint,
+};
+use split_correctness::core::reasoning::{commute, subsumes};
+use split_correctness::prelude::*;
+
+fn main() {
+    let sentences = splitters::sentences();
+    let lines = splitters::lines();
+    let paragraphs = splitters::paragraphs();
+
+    // --- §6: commutativity ---------------------------------------------
+    // "Splitting by pages then paragraphs equals paragraphs then pages":
+    // here, sentences and lines commute (maximal runs free of both).
+    let v = commute(&sentences, &lines, None).unwrap();
+    println!("sentences ∘ lines = lines ∘ sentences? {}", v.holds());
+
+    // --- §6: subsumption -------------------------------------------------
+    // Can the sentence splitter be evaluated inside paragraph chunks?
+    // sentences = sentences ∘ paragraphs would let the planner split by
+    // paragraphs first and parallelize sentence splitting per paragraph.
+    let v = subsumes(&sentences, &paragraphs, None).unwrap();
+    println!(
+        "sentences subsumed by paragraphs (sentences = par ∘ sentences)? {}",
+        v.holds()
+    );
+    // Whole-document trivially subsumes everything that re-yields it:
+    let whole = splitters::whole_document();
+    println!(
+        "whole-document subsumes whole-document? {}",
+        subsumes(&whole, &whole, None).unwrap().holds()
+    );
+
+    // --- §7.1: black-box inference ---------------------------------------
+    // α is a regular "glue" spanner; `coref` is an opaque extractor known
+    // (by its vendor) to be self-splittable by sentences. Theorem 7.4:
+    // the join α ⋈ coref is splittable by sentences.
+    let alpha = Rgx::parse(".*q(x{[ab]+})q.*").unwrap().to_vsa().unwrap();
+    let signature = Signature::new(vec![SpannerSymbol {
+        name: "coref".into(),
+        vars: VarTable::new(["x", "y"]).unwrap(),
+    }])
+    .unwrap();
+    let constraints = vec![SplitConstraint {
+        symbol: "coref".into(),
+        splitter: sentences.clone(),
+    }];
+    let verdict = infer_join_splittable(&alpha, &signature, &constraints, &sentences).unwrap();
+    println!(
+        "α ⋈ coref splittable by sentences (inferred without inspecting coref)? {}",
+        verdict.inferred()
+    );
+
+    // Lemma 7.3: with a non-disjoint splitter the inference is refused.
+    let windows = splitters::ngrams(2);
+    let constraints2 = vec![SplitConstraint {
+        symbol: "coref".into(),
+        splitter: windows.clone(),
+    }];
+    let refused = infer_join_splittable(&alpha, &signature, &constraints2, &windows).unwrap();
+    println!(
+        "same inference over (non-disjoint) 2-grams refused? {}",
+        !refused.inferred()
+    );
+}

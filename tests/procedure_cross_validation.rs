@@ -1,0 +1,214 @@
+//! Cross-validation of the decision procedures against brute-force
+//! checks over bounded document sets, and of the fast (PTIME) paths
+//! against the general (PSPACE) procedures.
+
+use split_correctness::prelude::*;
+use splitc_core::cover::{cover_condition, cover_condition_df};
+use splitc_core::{split_correct, split_correct_df};
+use splitc_spanner::eval::eval;
+
+fn vsa(p: &str) -> Vsa {
+    Rgx::parse(p).unwrap().to_vsa().unwrap()
+}
+
+/// Brute-force split-correctness over all documents up to a length
+/// bound: `P(d) = ⋃_{s ∈ S(d)} shift(P_S(d_s), s)`.
+fn brute_split_correct(p: &Vsa, ps: &Vsa, s: &Splitter, alphabet: &[u8], max_len: usize) -> bool {
+    let mut docs: Vec<Vec<u8>> = vec![Vec::new()];
+    let mut frontier = docs.clone();
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for d in &frontier {
+            for &b in alphabet {
+                let mut d2 = d.clone();
+                d2.push(b);
+                next.push(d2);
+            }
+        }
+        docs.extend(next.iter().cloned());
+        frontier = next;
+    }
+    for d in &docs {
+        let direct = eval(p, d);
+        let mut expected = Vec::new();
+        for sp in s.split(d) {
+            for t in eval(ps, sp.slice(d)).iter() {
+                expected.push(t.shift(sp));
+            }
+        }
+        if direct != SpanRelation::from_tuples(expected) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Brute-force cover condition over bounded documents.
+fn brute_cover(p: &Vsa, s: &Splitter, alphabet: &[u8], max_len: usize) -> bool {
+    let mut docs: Vec<Vec<u8>> = vec![Vec::new()];
+    let mut frontier = docs.clone();
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for d in &frontier {
+            for &b in alphabet {
+                let mut d2 = d.clone();
+                d2.push(b);
+                next.push(d2);
+            }
+        }
+        docs.extend(next.iter().cloned());
+        frontier = next;
+    }
+    for d in &docs {
+        let splits = s.split(d);
+        for t in eval(p, d).iter() {
+            if !splits.iter().any(|sp| t.covered_by(*sp)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[test]
+fn split_correctness_agrees_with_bruteforce() {
+    let sentence_like = Splitter::parse("(.*c)?x{[^c]+}(c.*)?").unwrap();
+    let cases: Vec<(&str, &str, &Splitter, bool)> = vec![
+        (".*y{a+}.*", ".*y{a+}.*", &sentence_like, true),
+        (".*y{ab}.*", "y{ab}.*", &sentence_like, false),
+        (".*y{aca}.*", ".*y{aca}.*", &sentence_like, false),
+    ];
+    for (ppat, pspat, s, expected) in cases {
+        let p = vsa(ppat);
+        let ps = vsa(pspat);
+        let verdict = split_correct(&p, &ps, s).unwrap().holds();
+        assert_eq!(verdict, expected, "procedure on P={ppat} PS={pspat}");
+        // Brute force can only *refute*; on these small automata and a
+        // 3-letter alphabet, length 6 suffices to catch every mismatch
+        // above (the refuting documents are short).
+        let brute = brute_split_correct(&p, &ps, s, b"abc", 6);
+        assert_eq!(brute, expected, "brute force on P={ppat} PS={pspat}");
+    }
+}
+
+#[test]
+fn cover_condition_agrees_with_bruteforce() {
+    let sentence_like = Splitter::parse("(.*c)?x{[^c]+}(c.*)?").unwrap();
+    for (pat, expected) in [
+        (".*y{a+}.*", true),
+        (".*y{aca}.*", false),
+        (".*y{[abc]}.*", false), // y can be the delimiter itself
+        ("y{[^c]+}", true),      // nonempty: the empty document has no chunk
+    ] {
+        let p = vsa(pat);
+        let verdict = matches!(cover_condition(&p, &sentence_like), Verdict::Holds);
+        assert_eq!(verdict, expected, "general cover on {pat}");
+        assert_eq!(
+            brute_cover(&p, &sentence_like, b"abc", 6),
+            expected,
+            "brute cover on {pat}"
+        );
+        // Fast path agrees after determinization.
+        let fast = matches!(
+            cover_condition_df(&p.determinize(), &sentence_like.determinize()).unwrap(),
+            Verdict::Holds
+        );
+        assert_eq!(fast, verdict, "fast cover on {pat}");
+    }
+}
+
+#[test]
+fn fast_and_general_split_correctness_agree_widely() {
+    let s = Splitter::parse("(.*c)?x{[^c]+}(c.*)?").unwrap();
+    let sd = s.determinize();
+    let patterns = [
+        ".*y{a+}.*",
+        ".*y{ab}.*",
+        "y{[^c]+}",
+        ".*y{a}b.*",
+        ".*a(y{b}).*",
+    ];
+    for ppat in patterns {
+        for pspat in patterns {
+            let p = vsa(ppat);
+            let ps = vsa(pspat);
+            let general = split_correct(&p, &ps, &s).unwrap().holds();
+            let fast = split_correct_df(&p.determinize(), &ps.determinize(), &sd)
+                .unwrap()
+                .holds();
+            assert_eq!(
+                general, fast,
+                "P={ppat} PS={pspat}: fast path must agree (no empty-span
+                 boundary tuples in this family)"
+            );
+        }
+    }
+}
+
+#[test]
+fn counterexamples_are_always_executable() {
+    // Every Fails verdict must come with a witness that actually
+    // separates the two sides.
+    let s = splitters::sentences();
+    let cases = [
+        (".*y{a\\.a}.*", ".*y{a\\.a}.*"),
+        (".*y{ab}.*", "y{ab}.*"),
+        (".*y{a}.*", ".*y{b}.*"),
+    ];
+    for (ppat, pspat) in cases {
+        let p = vsa(ppat);
+        let ps = vsa(pspat);
+        if let Verdict::Fails(cex) = split_correct(&p, &ps, &s).unwrap() {
+            let direct = eval(&p, &cex.doc);
+            let mut composed = Vec::new();
+            for sp in s.split(&cex.doc) {
+                for t in eval(&ps, sp.slice(&cex.doc)).iter() {
+                    composed.push(t.shift(sp));
+                }
+            }
+            let composed = SpanRelation::from_tuples(composed);
+            assert_ne!(direct, composed, "witness separates: {ppat} / {pspat}");
+            assert_eq!(
+                direct.contains(&cex.tuple),
+                cex.left_has_it,
+                "tuple is on the declared side"
+            );
+            assert_eq!(
+                composed.contains(&cex.tuple),
+                !cex.left_has_it,
+                "and absent from the other"
+            );
+        } else {
+            panic!("expected failure for {ppat} / {pspat}");
+        }
+    }
+}
+
+#[test]
+fn splittability_brute_force_on_small_worlds() {
+    // splittable(P, S) says "yes" exactly when the canonical witness
+    // reproduces P — validated pointwise over bounded documents.
+    let s = Splitter::parse("(.*c)?x{[^c]+}(c.*)?").unwrap();
+    for (pat, expected) in [
+        (".*y{a+}.*", true),
+        (".*y{aca}.*", false),
+        // Context-dependent P: the chunk "a" arises both from "ca"
+        // (where P fires) and from "a" alone (where it does not), and no
+        // split-spanner can tell them apart — not splittable.
+        ("c(y{a})", false),
+    ] {
+        let p = vsa(pat);
+        match splittable(&p, &s).unwrap() {
+            SplittabilityVerdict::Splittable { witness } => {
+                assert!(expected, "{pat} should not be splittable");
+                assert!(
+                    brute_split_correct(&p, &witness, &s, b"abc", 6),
+                    "witness must satisfy P = witness ∘ S on bounded docs"
+                );
+            }
+            SplittabilityVerdict::NotSplittable(_) => {
+                assert!(!expected, "{pat} should be splittable");
+            }
+        }
+    }
+}
