@@ -2,7 +2,7 @@
 //! Wikipedia sentences; "first split to sentences and then distribute"
 //! gave 2.1x (N=2) and 3.11x (N=3) over 5 cores.
 //!
-//! Reproduction: synthetic Wikipedia-like corpus (DESIGN.md §3),
+//! Reproduction: synthetic Wikipedia-like corpus (`splitc_textgen`),
 //! certified split plan, 5-worker pool simulated from measured per-task
 //! times (the benchmark host is single-core; see `exec::simulate`).
 

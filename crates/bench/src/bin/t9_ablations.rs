@@ -1,4 +1,4 @@
-//! T9 — ablations of this implementation's design choices (DESIGN.md §2):
+//! T9 — ablations of this implementation's design choices:
 //!
 //! * DFA minimization inside determinization (Prop 4.4 pipeline):
 //!   automaton sizes with and without the minimization pass;

@@ -1,6 +1,6 @@
 //! Experiment harness: shared machinery for the `e*`/`t*` binaries that
-//! regenerate every empirical claim of the paper (see `DESIGN.md` §4 for
-//! the experiment index and `EXPERIMENTS.md` for recorded results).
+//! regenerate every empirical claim of the paper (see the top-level
+//! `README.md`, "Experiment binaries", for the experiment index).
 
 use std::time::{Duration, Instant};
 
@@ -27,8 +27,8 @@ pub fn time_best<T>(iters: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
     (out.expect("at least one iteration"), best)
 }
 
-/// Scale factor for corpus sizes, settable via `SC_SCALE` (default 1.0;
-/// the recorded `EXPERIMENTS.md` numbers use the default).
+/// Scale factor for corpus sizes, settable via `SC_SCALE` (default 1.0,
+/// the scale the experiment binaries' reference numbers assume).
 pub fn scale() -> f64 {
     std::env::var("SC_SCALE")
         .ok()
@@ -42,7 +42,7 @@ pub fn scaled(bytes: usize) -> usize {
 }
 
 /// A plain-text results table, printed in a stable, grep-friendly
-/// format; rows are recorded verbatim in `EXPERIMENTS.md`.
+/// format suitable for recording experiment results verbatim.
 pub struct Table {
     title: String,
     headers: Vec<String>,

@@ -137,12 +137,12 @@ where
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let slots_ptr = SlotsPtr(slots.as_mut_ptr());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers.min(n) {
             let next = &next;
             let task = &task;
             let slots_ptr = &slots_ptr;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -157,8 +157,7 @@ where
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     slots
         .into_iter()
         .map(|s| s.expect("every task ran"))

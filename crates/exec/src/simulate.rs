@@ -12,8 +12,9 @@
 //! real and charged to the critical path, so simulated speedups honor
 //! Amdahl's law.
 //!
-//! The substitution is documented in `DESIGN.md` §3; on a genuinely
-//! multi-core host, `engine::evaluate_split` provides the real thing.
+//! The substitution is documented in the top-level `README.md`
+//! ("Experiment binaries"); on a genuinely multi-core host,
+//! `engine::evaluate_split` provides the real thing.
 
 use crate::engine::{ExecSpanner, SplitFn};
 use splitc_spanner::tuple::{SpanRelation, SpanTuple};

@@ -9,7 +9,7 @@
 //! count and length distributions, token structure compatible with the
 //! formal splitters (sentences end with `.`, tokens are alphanumeric and
 //! space-separated, paragraphs/messages are separated by blank lines) —
-//! as documented in `DESIGN.md` §3.
+//! as documented in the top-level `README.md` ("Synthetic corpora").
 //!
 //! * [`corpus`] — seeded, size-parameterized document and collection
 //!   generators.

@@ -78,10 +78,13 @@ pub fn host_date_buggy() -> Vsa {
 }
 
 /// The repaired variant: host and date within the same message (no blank
-/// line between them).
+/// line between them). The suffix tolerates a single document-final
+/// newline, mirroring the message splitter's chunk suffix `(\n\n.*|\n?)`
+/// — without it, a log ending in `\n` is rejected whole-document but
+/// accepted per-message, and certification rightly fails.
 pub fn host_date_fixed() -> Vsa {
     compile(
-        "(.*\\n\\n|)([a-z ]+\\n)*host h{[a-z]+}\\n([a-z ]+\\n)*date d{[a-z]+}(\\n[a-z ]+)*(\\n\\n.*|)",
+        "(.*\\n\\n|)([a-z ]+\\n)*host h{[a-z]+}\\n([a-z ]+\\n)*date d{[a-z]+}(\\n[a-z ]+)*(\\n\\n.*|\\n|)",
     )
 }
 

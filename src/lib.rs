@@ -40,6 +40,9 @@
 //! | [`exec`] | parallel + incremental execution engine |
 //! | [`textgen`] | synthetic corpora and workload extractors |
 
+#![deny(rustdoc::broken_intra_doc_links)]
+#![warn(missing_docs)]
+
 pub use splitc_automata as automata;
 pub use splitc_core as core;
 pub use splitc_exec as exec;

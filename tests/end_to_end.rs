@@ -64,7 +64,7 @@ fn uncertified_workload_differs_and_witness_is_executable() {
 }
 
 /// Formal splitters agree with their fast native implementations on
-/// generated corpora (cross-validation promised by DESIGN.md).
+/// generated corpora.
 #[test]
 fn formal_and_native_splitters_agree_on_corpora() {
     let doc = corpus(8 << 10, 23);

@@ -1,0 +1,214 @@
+//! Smoke tests exercising the main path of each program under
+//! `examples/`, so the documented workflows cannot silently rot. Each
+//! test is a compact replica of the corresponding example (smaller
+//! corpora, assertions instead of prints); the examples themselves are
+//! additionally compile-checked by `cargo test` / `cargo build
+//! --examples`.
+
+use split_correctness::core::blackbox::{
+    infer_join_splittable, Signature, SpannerSymbol, SplitConstraint,
+};
+use split_correctness::core::filters::{
+    lp_language, self_splittable_with_filter, FilterVerdict, FilteredSplitter,
+};
+use split_correctness::core::reasoning::{commute, subsumes};
+use split_correctness::prelude::*;
+use split_correctness::textgen::{self, CorpusConfig};
+use splitc_spanner::eval::eval;
+use splitc_textgen::spanners;
+use std::sync::Arc;
+
+/// `examples/quickstart.rs`: certify self-splittability, reject a
+/// sentence-crossing extractor, then evaluate split + parallel.
+#[test]
+fn quickstart_main_path() {
+    let p = Rgx::parse(".*x{a+}.*").unwrap().to_vsa().unwrap();
+    let s = splitters::sentences();
+    assert!(s.is_disjoint());
+    assert!(self_splittable(&p, &s).unwrap().holds());
+
+    let crossing = Rgx::parse(".*x{a\\.a}.*").unwrap().to_vsa().unwrap();
+    match self_splittable(&crossing, &s).unwrap() {
+        Verdict::Fails(cex) => assert!(cex.doc.contains(&b'.'), "witness crosses a sentence"),
+        Verdict::Holds => panic!("crossing extractor must be rejected"),
+    }
+
+    let spanner = ExecSpanner::compile(&p);
+    let split: SplitFn = Arc::new(native_splitters::sentences);
+    let doc = b"aa bbb aaa. baab. ab aaaa b".repeat(50);
+    let sequential = evaluate_sequential(&spanner, &doc);
+    let parallel = evaluate_split(&spanner, &split, &doc, 5);
+    assert_eq!(sequential, parallel, "certified: identical semantics");
+    assert!(!sequential.is_empty());
+}
+
+/// `examples/ngram_pipeline.rs`: N-gram certification, the §3.1
+/// adjacent-pair fact, and the measured pipeline.
+#[test]
+fn ngram_pipeline_main_path() {
+    let bigrams = spanners::ngram_extractor(2);
+    let sentences = splitters::sentences();
+    assert!(self_splittable(&bigrams, &sentences).unwrap().holds());
+
+    let pair = Rgx::parse("(.*[^A-Za-z0-9]|)e{[ab]+} p{[ab]+}([^A-Za-z0-9].*|)")
+        .unwrap()
+        .to_vsa()
+        .unwrap();
+    assert!(self_splittable(&pair, &splitters::ngrams(2))
+        .unwrap()
+        .holds());
+    assert!(!self_splittable(&pair, &splitters::ngrams(1))
+        .unwrap()
+        .holds());
+
+    let cfg = CorpusConfig {
+        target_bytes: 16 << 10,
+        ..Default::default()
+    };
+    let doc = textgen::wiki_corpus(&cfg);
+    let spanner = ExecSpanner::compile(&bigrams);
+    let split: SplitFn = Arc::new(native_splitters::sentences);
+    let seq = evaluate_sequential(&spanner, &doc);
+    for workers in [1, 2, 5] {
+        assert_eq!(
+            seq,
+            evaluate_split(&spanner, &split, &doc, workers),
+            "semantics preserved at {workers} workers"
+        );
+    }
+    assert!(!seq.is_empty());
+}
+
+/// `examples/incremental_wiki.rs`: certified incremental maintenance —
+/// an in-sentence edit recomputes at most the touched segments.
+#[test]
+fn incremental_wiki_main_path() {
+    let p = spanners::entity_extractor();
+    let s = splitters::sentences();
+    assert!(self_splittable(&p, &s).unwrap().holds());
+
+    let cfg = CorpusConfig {
+        target_bytes: 32 << 10,
+        ..Default::default()
+    };
+    let mut doc = textgen::wiki_corpus(&cfg);
+    let runner = IncrementalRunner::new(
+        ExecSpanner::compile(&p),
+        Arc::new(native_splitters::sentences) as SplitFn,
+    );
+
+    let before = runner.eval(&doc);
+    let s0 = runner.stats();
+    assert!(s0.misses > 0, "cold run evaluates segments");
+
+    let mid = doc.len() / 2;
+    for (i, b) in b"Newname".iter().enumerate() {
+        doc[mid + i] = *b;
+    }
+    let after = runner.eval(&doc);
+    let s1 = runner.stats();
+    assert!(
+        s1.misses - s0.misses <= 2,
+        "an in-sentence edit touches at most the edited segment(s)"
+    );
+    assert!(s1.hits > 0, "untouched segments come from cache");
+    let _ = before;
+
+    let direct = evaluate_sequential(&ExecSpanner::compile(&p), &doc);
+    assert_eq!(after, direct, "incremental equals from-scratch");
+}
+
+/// `examples/http_log_debugging.rs`: the buggy host/date extractor is
+/// rejected, the fixed one certified, and request lines parallelize.
+#[test]
+fn http_log_debugging_main_path() {
+    let messages = splitters::http_messages();
+
+    match self_splittable(&spanners::host_date_buggy(), &messages).unwrap() {
+        Verdict::Fails(_) => {}
+        Verdict::Holds => panic!("buggy extractor must not be splittable by messages"),
+    }
+    assert!(self_splittable(&spanners::host_date_fixed(), &messages)
+        .unwrap()
+        .holds());
+
+    let request_lines = spanners::request_line_extractor();
+    assert!(self_splittable(&request_lines, &messages).unwrap().holds());
+    let log = textgen::http_log(200, 17);
+    let spanner = ExecSpanner::compile(&request_lines);
+    let split: SplitFn = Arc::new(native_splitters::paragraphs);
+    let seq = evaluate_sequential(&spanner, &log);
+    assert_eq!(seq, evaluate_split(&spanner, &split, &log, 5));
+    assert_eq!(seq.len(), 200, "one request line per message");
+}
+
+/// `examples/query_planning.rs`: §6 reasoning and §7.1 black-box
+/// inference.
+#[test]
+fn query_planning_main_path() {
+    let sentences = splitters::sentences();
+    let lines = splitters::lines();
+    let paragraphs = splitters::paragraphs();
+
+    assert!(commute(&sentences, &lines, None).unwrap().holds());
+    // Sentences may cross paragraph boundaries (a blank line is
+    // period-free), so paragraph-first splitting changes the chunks.
+    assert!(!subsumes(&sentences, &paragraphs, None).unwrap().holds());
+    let whole = splitters::whole_document();
+    assert!(subsumes(&whole, &whole, None).unwrap().holds());
+
+    let alpha = Rgx::parse(".*q(x{[ab]+})q.*").unwrap().to_vsa().unwrap();
+    let signature = Signature::new(vec![SpannerSymbol {
+        name: "coref".into(),
+        vars: VarTable::new(["x", "y"]).unwrap(),
+    }])
+    .unwrap();
+    let constraints = vec![SplitConstraint {
+        symbol: "coref".into(),
+        splitter: sentences.clone(),
+    }];
+    assert!(
+        infer_join_splittable(&alpha, &signature, &constraints, &sentences)
+            .unwrap()
+            .inferred()
+    );
+
+    let windows = splitters::ngrams(2);
+    let constraints2 = vec![SplitConstraint {
+        symbol: "coref".into(),
+        splitter: windows.clone(),
+    }];
+    assert!(
+        !infer_join_splittable(&alpha, &signature, &constraints2, &windows)
+            .unwrap()
+            .inferred(),
+        "non-disjoint splitter must refuse the inference"
+    );
+}
+
+/// `examples/regular_preconditions.rs`: §7.2 regular filters restore
+/// split-correctness; the filtered splitter materializes.
+#[test]
+fn regular_preconditions_main_path() {
+    let p = Rgx::parse("x{[a-z]+}").unwrap().to_vsa().unwrap();
+    let s = splitters::sentences();
+
+    assert!(
+        matches!(self_splittable(&p, &s).unwrap(), Verdict::Fails(_)),
+        "plain self-splittability must fail"
+    );
+
+    match self_splittable_with_filter(&p, &s).unwrap() {
+        FilterVerdict::HoldsWith { filter } => {
+            assert!(!eval(&filter, b"abc").is_empty(), "abc ∈ L_P");
+            assert!(eval(&filter, b"ab.cd").is_empty(), "ab.cd ∉ L_P");
+            assert!(eval(&filter, b"ab cd").is_empty(), "ab cd ∉ L_P");
+        }
+        FilterVerdict::Fails(cex) => panic!("filter must exist, got counterexample {cex}"),
+    }
+
+    let filtered = FilteredSplitter::new(s, lp_language(&p)).unwrap();
+    let mat = filtered.to_splitter();
+    assert_eq!(mat.split(b"abc").len(), 1, "single-token doc splits whole");
+    assert!(mat.split(b"ab.cd").is_empty(), "filtered out");
+}
