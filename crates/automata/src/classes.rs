@@ -1,0 +1,251 @@
+//! Byte-class alphabet compression.
+//!
+//! Automata over the raw byte alphabet pay for 256 successor slots per
+//! state even though realistic transition sets ("any alphanumeric byte",
+//! "anything but a newline") distinguish only a handful of byte
+//! *classes*. [`ByteClasses`] computes the coarsest partition of
+//! `0..=255` refining every transition set of an automaton, so dense
+//! per-state tables can be indexed by class instead of byte — the classic
+//! lexer-generator trick (also used by `regex-automata` and rustlex-style
+//! scanner generators). Simulation over classes is exact: two bytes in
+//! the same class are indistinguishable by every registered set, hence by
+//! every run of the automaton.
+//!
+//! The utility is byte-set-representation agnostic: sets are registered
+//! through a membership predicate, so callers with bitmask, range, or
+//! predicate representations all share one implementation.
+
+/// The coarsest partition of byte values `0..=255` refining a collection
+/// of byte sets. Build with [`ByteClassBuilder`].
+///
+/// Class ids are dense in `0..num_classes()`, numbered by each class's
+/// smallest member byte (so the numbering is canonical for a given
+/// partition, independent of set registration order).
+#[derive(Clone, PartialEq, Eq)]
+pub struct ByteClasses {
+    class_of: [u16; 256],
+    num: u16,
+}
+
+impl ByteClasses {
+    /// The partition with a single class containing every byte.
+    pub fn singleton() -> ByteClasses {
+        ByteClasses {
+            class_of: [0; 256],
+            num: 1,
+        }
+    }
+
+    /// The class of byte `b`.
+    #[inline]
+    pub fn class_of(&self, b: u8) -> usize {
+        self.class_of[b as usize] as usize
+    }
+
+    /// Number of classes (at least 1, at most 256).
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.num as usize
+    }
+
+    /// The smallest byte of each class, indexed by class id. Useful for
+    /// materializing one witness byte per class.
+    pub fn representatives(&self) -> Vec<u8> {
+        let mut reps = vec![None; self.num_classes()];
+        for b in (0u16..256).rev() {
+            reps[self.class_of(b as u8)] = Some(b as u8);
+        }
+        reps.into_iter()
+            .map(|r| r.expect("every class is non-empty"))
+            .collect()
+    }
+
+    /// Iterates the member bytes of class `c` in increasing order.
+    pub fn bytes_of(&self, c: usize) -> impl Iterator<Item = u8> + '_ {
+        (0u16..256)
+            .map(|b| b as u8)
+            .filter(move |&b| self.class_of(b) == c)
+    }
+}
+
+impl std::fmt::Debug for ByteClasses {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ByteClasses")
+            .field("num_classes", &self.num)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Incremental builder for [`ByteClasses`]: starts with one universal
+/// class and refines it by each registered set.
+#[derive(Clone, Debug)]
+pub struct ByteClassBuilder {
+    class_of: [u16; 256],
+    num: u16,
+}
+
+impl Default for ByteClassBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ByteClassBuilder {
+    /// Starts from the trivial one-class partition.
+    pub fn new() -> ByteClassBuilder {
+        ByteClassBuilder {
+            class_of: [0; 256],
+            num: 1,
+        }
+    }
+
+    /// Refines the partition by a byte set given as a membership
+    /// predicate: afterwards no class straddles the set boundary.
+    pub fn add_set(&mut self, contains: impl Fn(u8) -> bool) -> &mut Self {
+        // For each current class, bytes inside the set move to a fresh
+        // class id (allocated on first sight); bytes outside keep theirs.
+        // A class fully inside the set is renamed wholesale, which is
+        // harmless — ids are recompacted below.
+        let mut moved: Vec<u16> = vec![u16::MAX; self.num as usize];
+        let mut next = self.num;
+        for b in 0u16..256 {
+            let b = b as u8;
+            if !contains(b) {
+                continue;
+            }
+            let old = self.class_of[b as usize];
+            let new = &mut moved[old as usize];
+            if *new == u16::MAX {
+                *new = next;
+                next += 1;
+            }
+            self.class_of[b as usize] = *new;
+        }
+        // Compact ids after every set: splitting and renaming can leave
+        // gaps, and without compaction the id counter would grow by up
+        // to 256 per registered set — past `u16` range for automata with
+        // tens of thousands of (undeduplicated) transition masks. With
+        // it, `next` is bounded by 2 · 256 at all times.
+        let mut remap: Vec<u16> = vec![u16::MAX; next as usize];
+        let mut dense = 0u16;
+        for c in self.class_of.iter_mut() {
+            if remap[*c as usize] == u16::MAX {
+                remap[*c as usize] = dense;
+                dense += 1;
+            }
+            *c = remap[*c as usize];
+        }
+        self.num = dense;
+        self
+    }
+
+    /// Finishes the partition, renumbering classes densely by smallest
+    /// member byte.
+    pub fn build(&self) -> ByteClasses {
+        let mut remap: Vec<u16> = vec![u16::MAX; self.num as usize];
+        let mut class_of = [0u16; 256];
+        let mut next = 0u16;
+        for (dst, &old) in class_of.iter_mut().zip(self.class_of.iter()) {
+            if remap[old as usize] == u16::MAX {
+                remap[old as usize] = next;
+                next += 1;
+            }
+            *dst = remap[old as usize];
+        }
+        ByteClasses {
+            class_of,
+            num: next,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_partition() {
+        let c = ByteClasses::singleton();
+        assert_eq!(c.num_classes(), 1);
+        assert_eq!(c.class_of(0), c.class_of(255));
+        assert_eq!(c.representatives(), vec![0]);
+    }
+
+    #[test]
+    fn refinement_splits_classes() {
+        let c = ByteClassBuilder::new()
+            .add_set(|b| b.is_ascii_lowercase())
+            .add_set(|b| b == b'.')
+            .add_set(|b| (b'a'..=b'm').contains(&b))
+            .build();
+        // Classes: [a-m], [n-z], {.}, everything else — 4 classes.
+        assert_eq!(c.num_classes(), 4);
+        assert_eq!(c.class_of(b'a'), c.class_of(b'm'));
+        assert_ne!(c.class_of(b'a'), c.class_of(b'n'));
+        assert_ne!(c.class_of(b'.'), c.class_of(b'!'));
+        assert_eq!(c.class_of(b'!'), c.class_of(0xFF));
+    }
+
+    #[test]
+    fn numbering_is_canonical_by_first_byte() {
+        // Register the same sets in different orders: same numbering.
+        let a = ByteClassBuilder::new()
+            .add_set(|b| b == b'x')
+            .add_set(|b| b == b'a')
+            .build();
+        let b = ByteClassBuilder::new()
+            .add_set(|b| b == b'a')
+            .add_set(|b| b == b'x')
+            .build();
+        assert_eq!(a, b);
+        // Class 0 holds byte 0 (smallest first member).
+        assert_eq!(a.class_of(0), 0);
+    }
+
+    #[test]
+    fn classes_partition_all_bytes() {
+        let c = ByteClassBuilder::new()
+            .add_set(|b| b.is_ascii_digit())
+            .add_set(|b| b >= 0x80)
+            .build();
+        let total: usize = (0..c.num_classes()).map(|i| c.bytes_of(i).count()).sum();
+        assert_eq!(total, 256);
+        let reps = c.representatives();
+        assert_eq!(reps.len(), c.num_classes());
+        for (i, r) in reps.iter().enumerate() {
+            assert_eq!(c.class_of(*r), i);
+            assert_eq!(c.bytes_of(i).next(), Some(*r));
+        }
+    }
+
+    #[test]
+    fn many_registered_sets_do_not_overflow_ids() {
+        // Tens of thousands of (repeated) sets, as produced by feeding
+        // every transition mask of a large automaton without dedup. The
+        // id counter must stay bounded by the number of live classes,
+        // not grow with the number of registrations.
+        let mut builder = ByteClassBuilder::new();
+        for i in 0..70_000u32 {
+            let lo = (i % 3) as u8 * 50;
+            builder.add_set(move |b| (lo..lo + 50).contains(&b));
+        }
+        let c = builder.build();
+        assert_eq!(c.num_classes(), 4); // [0,50), [50,100), [100,150), rest
+        assert_eq!(c.class_of(0), c.class_of(49));
+        assert_ne!(c.class_of(49), c.class_of(50));
+        assert_eq!(c.class_of(150), c.class_of(255));
+    }
+
+    #[test]
+    fn full_split_reaches_256() {
+        let mut builder = ByteClassBuilder::new();
+        for b in 0u16..256 {
+            builder.add_set(move |x| x == b as u8);
+        }
+        let c = builder.build();
+        assert_eq!(c.num_classes(), 256);
+        for b in 0u16..256 {
+            assert_eq!(c.class_of(b as u8), b as usize);
+        }
+    }
+}

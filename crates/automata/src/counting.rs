@@ -106,8 +106,7 @@ pub fn path_counts_exact(nfa: &Nfa, max_len: usize) -> Vec<u128> {
             break;
         }
         let mut next = vec![0u128; nfa.num_states()];
-        for q in 0..nfa.num_states() {
-            let c = vec[q];
+        for (q, &c) in vec.iter().enumerate() {
             if c == 0 {
                 continue;
             }

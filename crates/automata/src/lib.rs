@@ -17,16 +17,22 @@
 //!   (lazy subset construction), equivalence, union, intersection.
 //! * [`unambiguous`] — unambiguity testing and polynomial-time containment
 //!   for unambiguous automata via accepting-path counting.
+//! * [`classes`] — byte-class alphabet compression ([`ByteClasses`]): the
+//!   coarsest partition of `0..=255` refining a collection of byte sets,
+//!   shared by the spanner crate's interned alphabets and its dense
+//!   lazy-DFA evaluation layer.
 //!
 //! Symbols are dense `u32` identifiers ([`Sym`]); callers intern whatever
 //! alphabet they need (bytes, extended spanner alphabets, pair alphabets).
 
+pub mod classes;
 pub mod counting;
 pub mod dfa;
 pub mod nfa;
 pub mod ops;
 pub mod unambiguous;
 
+pub use classes::{ByteClassBuilder, ByteClasses};
 pub use dfa::Dfa;
 pub use nfa::{Nfa, StateId, Sym};
 

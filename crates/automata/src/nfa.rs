@@ -244,9 +244,9 @@ impl Nfa {
         }
         let mut seen = vec![false; n];
         let mut queue: VecDeque<StateId> = VecDeque::new();
-        for q in 0..n {
-            if self.finals[q] {
-                seen[q] = true;
+        for (q, (s, &fin)) in seen.iter_mut().zip(self.finals.iter()).enumerate() {
+            if fin {
+                *s = true;
                 queue.push_back(q as StateId);
             }
         }

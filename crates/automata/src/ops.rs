@@ -64,8 +64,9 @@ pub fn contains(a: &Nfa, b: &Nfa) -> Containment {
 
     // BFS over (A-state, B-subset) pairs, remembering parents for
     // counterexample reconstruction.
+    type ParentEntry = (Option<(usize, Sym)>, StateId, u32);
     let mut seen: HashMap<(StateId, u32), usize> = HashMap::new();
-    let mut parents: Vec<(Option<(usize, Sym)>, StateId, u32)> = Vec::new();
+    let mut parents: Vec<ParentEntry> = Vec::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
 
     for &qa in &a_starts {
@@ -78,7 +79,7 @@ pub fn contains(a: &Nfa, b: &Nfa) -> Containment {
         }
     }
 
-    let reconstruct = |parents: &Vec<(Option<(usize, Sym)>, StateId, u32)>, mut node: usize| {
+    let reconstruct = |parents: &Vec<ParentEntry>, mut node: usize| {
         let mut word: Vec<Sym> = Vec::new();
         while let (Some((p, s)), _, _) = parents[node] {
             word.push(s);

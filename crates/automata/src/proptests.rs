@@ -52,12 +52,9 @@ fn rand_nfa(max_states: usize, asize: u32) -> impl Strategy<Value = RandNfa> {
 /// Brute-force check whether every word of length <= max_len accepted by a
 /// is accepted by b.
 fn brute_contained(a: &Nfa, b: &Nfa, max_len: usize) -> Option<Vec<Sym>> {
-    for w in a.enumerate_words(max_len, usize::MAX) {
-        if !b.accepts(&w) {
-            return Some(w);
-        }
-    }
-    None
+    a.enumerate_words(max_len, usize::MAX)
+        .into_iter()
+        .find(|w| !b.accepts(w))
 }
 
 proptest! {

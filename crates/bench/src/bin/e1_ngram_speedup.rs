@@ -6,17 +6,19 @@
 //! certified split plan, 5-worker pool simulated from measured per-task
 //! times (the benchmark host is single-core; see `exec::simulate`).
 
-use splitc_bench::{ms, scaled, time, x, Table};
+use splitc_bench::{bench_json, engine_arg, ms, scaled, time, time_best, x, Table};
 use splitc_exec::{simulate_split, ExecSpanner, SplitFn};
 use splitc_spanner::splitter::{self, native};
 use splitc_textgen::{spanners, wiki_corpus, CorpusConfig};
 use std::sync::Arc;
 
 fn main() {
+    let engine = engine_arg();
     let bytes = scaled(8 << 20);
     println!(
-        "E1: N-gram extraction over a {:.1} MiB Wikipedia-like corpus",
-        bytes as f64 / (1 << 20) as f64
+        "E1: N-gram extraction over a {:.1} MiB Wikipedia-like corpus (engine: {})",
+        bytes as f64 / (1 << 20) as f64,
+        engine.name()
     );
     let cfg = CorpusConfig {
         target_bytes: bytes,
@@ -49,10 +51,18 @@ fn main() {
         let s = splitter::sentences();
         let verdict = splitc_core::self_splittable(&p, &s).unwrap();
         assert!(verdict.holds(), "N-gram extractor must be self-splittable");
-        let spanner = ExecSpanner::compile(&p);
+        let spanner = ExecSpanner::compile_with(&p, engine);
         let split: SplitFn = Arc::new(native::sentences);
         let report = simulate_split(&spanner, &split, &doc, &[1, 2, 5]);
-        let tuples = spanner.eval(&doc).len();
+        let (rel, seq_wall) = time_best(2, || spanner.eval(&doc));
+        let tuples = rel.len();
+        bench_json(
+            &format!("e1_ngram_speedup/N={n}"),
+            engine.name(),
+            doc.len(),
+            seq_wall,
+            tuples,
+        );
         let w1 = report.makespans[0].1;
         let w5 = report.makespans[2].1;
         table.row(&[

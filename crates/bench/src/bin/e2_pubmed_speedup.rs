@@ -4,17 +4,19 @@
 //! Reproduction: number-heavy PubMed-like corpus, 2-gram extraction,
 //! simulated 5-worker pool (see E1 / `exec::simulate`).
 
-use splitc_bench::{ms, scaled, time, x, Table};
+use splitc_bench::{bench_json, engine_arg, ms, scaled, time, time_best, x, Table};
 use splitc_exec::{simulate_split, ExecSpanner, SplitFn};
 use splitc_spanner::splitter::native;
 use splitc_textgen::{pubmed_corpus, spanners};
 use std::sync::Arc;
 
 fn main() {
+    let engine = engine_arg();
     let bytes = scaled(8 << 20);
     println!(
-        "E2: N-gram extraction over a {:.1} MiB PubMed-like corpus",
-        bytes as f64 / (1 << 20) as f64
+        "E2: N-gram extraction over a {:.1} MiB PubMed-like corpus (engine: {})",
+        bytes as f64 / (1 << 20) as f64,
+        engine.name()
     );
     let (doc, gen_t) = time(|| pubmed_corpus(bytes, 0xBEEF));
     println!(
@@ -24,9 +26,17 @@ fn main() {
     );
 
     let p = spanners::ngram_extractor(2);
-    let spanner = ExecSpanner::compile(&p);
+    let spanner = ExecSpanner::compile_with(&p, engine);
     let split: SplitFn = Arc::new(native::sentences);
     let report = simulate_split(&spanner, &split, &doc, &[1, 2, 5]);
+    let (rel, seq_wall) = time_best(2, || spanner.eval(&doc));
+    bench_json(
+        "e2_pubmed_speedup/N=2",
+        engine.name(),
+        doc.len(),
+        seq_wall,
+        rel.len(),
+    );
 
     let mut table = Table::new(
         "E2 — PubMed-like corpus, 2-gram extraction",

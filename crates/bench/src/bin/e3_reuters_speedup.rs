@@ -7,25 +7,36 @@
 //! per-article vs per-sentence task granularity on a simulated 5-worker
 //! pool.
 
-use splitc_bench::{ms, scale, x, Table};
+use splitc_bench::{bench_json, engine_arg, ms, scale, time, x, Table};
 use splitc_exec::{simulate_collection, ExecSpanner, SplitFn};
 use splitc_spanner::splitter::native;
 use splitc_textgen::{articles_corpus, skewed_articles_corpus, spanners};
 use std::sync::Arc;
 
 fn main() {
+    let engine = engine_arg();
     let n = (9000.0 * scale()) as usize;
-    println!("E3: transaction extraction over {n} Reuters-like articles");
+    println!(
+        "E3: transaction extraction over {n} Reuters-like articles (engine: {})",
+        engine.name()
+    );
     let docs = articles_corpus(n, 0x5EED);
     let refs: Vec<&[u8]> = docs.iter().map(Vec::as_slice).collect();
 
     let p = spanners::transaction_extractor();
-    let spanner = ExecSpanner::compile(&p);
+    let spanner = ExecSpanner::compile_with(&p, engine);
     let split: SplitFn = Arc::new(native::sentences);
 
     let (per_doc, per_chunk) = simulate_collection(&spanner, &split, &refs, &[5], 5);
 
-    let total: usize = refs.iter().map(|d| spanner.eval(d).len()).sum();
+    let (total, seq_wall) = time(|| -> usize { refs.iter().map(|d| spanner.eval(d).len()).sum() });
+    bench_json(
+        "e3_reuters_speedup",
+        engine.name(),
+        refs.iter().map(|d| d.len()).sum(),
+        seq_wall,
+        total,
+    );
     let mut table = Table::new(
         "E3 — task granularity on a 5-worker pool (Reuters-like)",
         &[

@@ -6,25 +6,36 @@
 //! by default; scale with SC_SCALE), per-review vs per-sentence task
 //! granularity on a simulated 5-worker pool.
 
-use splitc_bench::{ms, scale, x, Table};
+use splitc_bench::{bench_json, engine_arg, ms, scale, time, x, Table};
 use splitc_exec::{simulate_collection, ExecSpanner, SplitFn};
 use splitc_spanner::splitter::native;
 use splitc_textgen::{reviews_corpus, spanners};
 use std::sync::Arc;
 
 fn main() {
+    let engine = engine_arg();
     let n = (40_000.0 * scale()) as usize;
-    println!("E4: negative-sentiment targets over {n} review-like documents");
+    println!(
+        "E4: negative-sentiment targets over {n} review-like documents (engine: {})",
+        engine.name()
+    );
     let docs = reviews_corpus(n, 0xF00D);
     let refs: Vec<&[u8]> = docs.iter().map(Vec::as_slice).collect();
 
     let p = spanners::negative_sentiment_targets();
-    let spanner = ExecSpanner::compile(&p);
+    let spanner = ExecSpanner::compile_with(&p, engine);
     let split: SplitFn = Arc::new(native::sentences);
 
     let (per_doc, per_chunk) = simulate_collection(&spanner, &split, &refs, &[5], 5);
 
-    let total: usize = refs.iter().map(|d| spanner.eval(d).len()).sum();
+    let (total, seq_wall) = time(|| -> usize { refs.iter().map(|d| spanner.eval(d).len()).sum() });
+    bench_json(
+        "e4_reviews_speedup",
+        engine.name(),
+        refs.iter().map(|d| d.len()).sum(),
+        seq_wall,
+        total,
+    );
     let base = per_doc.makespans[0].1;
     let fine = per_chunk.makespans[0].1;
     let mut table = Table::new(

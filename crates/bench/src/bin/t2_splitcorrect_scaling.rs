@@ -4,7 +4,7 @@
 //! the same instances.
 
 use splitc_bench::families::chain_extractor;
-use splitc_bench::{ms, time_best, Table};
+use splitc_bench::{bench_json, ms, time_best, Table};
 use splitc_core::{self_splittable, self_splittable_df};
 use splitc_spanner::splitter;
 
@@ -27,6 +27,15 @@ fn main() {
         let (vg, dg) = time_best(3, || self_splittable(&p, &s).unwrap());
         let (vf, df) = time_best(3, || self_splittable_df(&pd, &sd).unwrap());
         assert_eq!(vg.holds(), vf.holds(), "procedures must agree");
+        // Decision-procedure rows: bytes/tuples do not apply (0).
+        bench_json(
+            &format!("t2_splitcorrect_scaling/k={k}"),
+            "general",
+            0,
+            dg,
+            0,
+        );
+        bench_json(&format!("t2_splitcorrect_scaling/k={k}"), "dfvsa", 0, df, 0);
         t.row(&[
             k.to_string(),
             pd.num_states().to_string(),

@@ -4,7 +4,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use splitc_bench::{ms, scaled, time, x, Table};
+use splitc_bench::{bench_json, engine_arg, ms, scaled, time, x, Table};
 use splitc_exec::{ExecSpanner, IncrementalRunner, SplitFn};
 use splitc_spanner::splitter::native;
 use splitc_textgen::{spanners, wiki_corpus, CorpusConfig};
@@ -23,7 +23,9 @@ fn main() {
         bytes as f64 / (1 << 20) as f64
     );
 
-    let spanner = ExecSpanner::compile(&spanners::entity_extractor());
+    let engine = engine_arg();
+    println!("engine: {}", engine.name());
+    let spanner = ExecSpanner::compile_with(&spanners::entity_extractor(), engine);
     let runner = IncrementalRunner::new(spanner.clone(), Arc::new(native::sentences) as SplitFn);
 
     // Cold pass fills the cache.
@@ -69,4 +71,13 @@ fn main() {
         x(full_total.as_secs_f64() / incr_total.as_secs_f64().max(1e-12)),
     ]);
     t.print();
+
+    let (rel, seq_wall) = time(|| spanner.eval(&doc));
+    bench_json(
+        "t8_incremental/full_eval",
+        engine.name(),
+        doc.len(),
+        seq_wall,
+        rel.len(),
+    );
 }

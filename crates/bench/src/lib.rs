@@ -6,6 +6,53 @@ use std::time::{Duration, Instant};
 
 pub mod families;
 
+/// The evaluation engine selected for this run: `--engine {nfa,dense}`
+/// on the command line (also accepted as `--engine=...`), else the
+/// `SC_ENGINE` environment variable, else the default ([`splitc_exec::Engine::Dense`]).
+///
+/// Panics with a usage message on an unknown engine name, so CI fails
+/// loudly instead of silently benchmarking the wrong thing.
+pub fn engine_arg() -> splitc_exec::Engine {
+    let mut args = std::env::args().skip(1);
+    let mut chosen: Option<String> = None;
+    while let Some(a) = args.next() {
+        if a == "--engine" {
+            chosen = Some(
+                args.next()
+                    .expect("--engine requires a value: --engine {nfa,dense}"),
+            );
+        } else if let Some(v) = a.strip_prefix("--engine=") {
+            chosen = Some(v.to_string());
+        }
+    }
+    let chosen = chosen.or_else(|| std::env::var("SC_ENGINE").ok());
+    match chosen {
+        None => splitc_exec::Engine::default(),
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("--engine: {e}; usage: --engine {{nfa,dense}}")),
+    }
+}
+
+/// Emits one machine-readable benchmark result row on stdout.
+///
+/// The line format is `BENCH {json}` with the stable schema
+/// `{"bench", "engine", "bytes", "wall_ms", "tuples"}`; the CI
+/// `bench-smoke` job greps these lines into the `BENCH_pr.json`
+/// artifact (JSON-lines, one row per line). `bytes` and `tuples` are 0
+/// for benchmarks where they do not apply (e.g. decision-procedure
+/// scaling rows).
+pub fn bench_json(bench: &str, engine: &str, bytes: usize, wall: Duration, tuples: usize) {
+    debug_assert!(
+        !bench.contains('"') && !engine.contains('"'),
+        "bench/engine labels must not need JSON escaping"
+    );
+    println!(
+        "BENCH {{\"bench\":\"{bench}\",\"engine\":\"{engine}\",\"bytes\":{bytes},\"wall_ms\":{:.3},\"tuples\":{tuples}}}",
+        wall.as_secs_f64() * 1e3
+    );
+}
+
 /// Times a closure.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let t0 = Instant::now();

@@ -1,5 +1,6 @@
 //! The parallel split-evaluation engine.
 
+use splitc_spanner::dense::{DenseConfig, DenseEvsa};
 use splitc_spanner::eval::eval_evsa;
 use splitc_spanner::evsa::EVsa;
 use splitc_spanner::span::Span;
@@ -20,23 +21,79 @@ pub fn split_fn_of_splitter(s: &Splitter) -> SplitFn {
     Arc::new(move |doc| compiled.split(doc))
 }
 
+/// Evaluation engine selection for [`ExecSpanner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Per-position NFA simulation over raw byte-set transitions.
+    Nfa,
+    /// Byte-class tables + memory-bounded lazy-DFA cache with exact NFA
+    /// fallback (see [`splitc_spanner::dense`]). The default.
+    #[default]
+    Dense,
+}
+
+impl Engine {
+    /// Stable lowercase name (as accepted by the bench `--engine` flag).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Nfa => "nfa",
+            Engine::Dense => "dense",
+        }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Engine, String> {
+        match s {
+            "nfa" => Ok(Engine::Nfa),
+            "dense" => Ok(Engine::Dense),
+            other => Err(format!("unknown engine {other:?} (expected nfa|dense)")),
+        }
+    }
+}
+
 /// A spanner compiled for repeated evaluation.
 #[derive(Debug, Clone)]
 pub struct ExecSpanner {
     evsa: Arc<EVsa>,
+    /// Dense compilation; `None` for the pure NFA engine. The scan-cache
+    /// pool inside hands one lazy-DFA cache to each concurrent worker.
+    dense: Option<Arc<DenseEvsa>>,
 }
 
 impl ExecSpanner {
     /// Compiles a VSet-automaton once (functionalization + block normal
-    /// form).
+    /// form) with the default [`Engine::Dense`].
     pub fn compile(vsa: &Vsa) -> ExecSpanner {
+        Self::compile_with(vsa, Engine::default())
+    }
+
+    /// Compiles with an explicit engine choice.
+    pub fn compile_with(vsa: &Vsa, engine: Engine) -> ExecSpanner {
         let f = if vsa.is_functional() {
             vsa.trim()
         } else {
             vsa.functionalize()
         };
-        ExecSpanner {
-            evsa: Arc::new(EVsa::from_functional(&f)),
+        let evsa = Arc::new(EVsa::from_functional(&f));
+        let dense = match engine {
+            Engine::Nfa => None,
+            Engine::Dense => Some(Arc::new(DenseEvsa::compile(
+                evsa.clone(),
+                DenseConfig::default(),
+            ))),
+        };
+        ExecSpanner { evsa, dense }
+    }
+
+    /// The engine this spanner was compiled for.
+    pub fn engine(&self) -> Engine {
+        if self.dense.is_some() {
+            Engine::Dense
+        } else {
+            Engine::Nfa
         }
     }
 
@@ -47,7 +104,10 @@ impl ExecSpanner {
 
     /// Evaluates on one document.
     pub fn eval(&self, doc: &[u8]) -> SpanRelation {
-        eval_evsa(&self.evsa, doc)
+        match &self.dense {
+            Some(d) => d.eval(doc),
+            None => eval_evsa(&self.evsa, doc),
+        }
     }
 }
 
@@ -104,6 +164,12 @@ pub fn evaluate_many_split(
         for sp in split(doc) {
             tasks.push((di, sp));
         }
+    }
+    // Empty task lists skip the pool and merge machinery entirely —
+    // frequent when splits produce nothing. (Singleton lists are already
+    // run inline by `run_pool`, which spawns no threads for `n <= 1`.)
+    if tasks.is_empty() {
+        return docs.iter().map(|_| SpanRelation::empty()).collect();
     }
     let partials = run_pool(workers, tasks.len(), |i| {
         let (di, sp) = tasks[i];
@@ -241,6 +307,48 @@ mod tests {
                 "order must be preserved"
             );
         }
+    }
+
+    #[test]
+    fn engines_agree_and_default_is_dense() {
+        let pat = ".*x{a+}.*";
+        let p = Rgx::parse(pat).unwrap().to_vsa().unwrap();
+        let nfa = ExecSpanner::compile_with(&p, Engine::Nfa);
+        let dense = ExecSpanner::compile_with(&p, Engine::Dense);
+        assert_eq!(nfa.engine(), Engine::Nfa);
+        assert_eq!(dense.engine(), Engine::Dense);
+        assert_eq!(ExecSpanner::compile(&p).engine(), Engine::Dense);
+        let split: SplitFn = Arc::new(native::sentences);
+        for doc in [b"aa bb aaa. a. bbb aa".as_slice(), b"", b"..."] {
+            assert_eq!(nfa.eval(doc), dense.eval(doc));
+            assert_eq!(
+                evaluate_split(&nfa, &split, doc, 2),
+                evaluate_split(&dense, &split, doc, 2)
+            );
+        }
+        assert_eq!("nfa".parse::<Engine>().unwrap(), Engine::Nfa);
+        assert_eq!("dense".parse::<Engine>().unwrap(), Engine::Dense);
+        assert!("turbo".parse::<Engine>().is_err());
+    }
+
+    #[test]
+    fn many_split_short_circuits_empty_and_singleton_tasks() {
+        let p = spanner(".*x{a+}.*");
+        let split: SplitFn = Arc::new(native::sentences);
+        // No chunks at all: one empty relation per document, pool skipped.
+        let empties: Vec<&[u8]> = vec![b"...", b"", b"."];
+        let out = evaluate_many_split(&p, &split, &empties, 4);
+        assert_eq!(out.len(), empties.len());
+        assert!(out.iter().all(SpanRelation::is_empty));
+        assert_eq!(out, evaluate_many(&p, &empties, 4));
+        // Exactly one chunk across the collection: inline evaluation,
+        // results identical to the pooled path and correctly shifted.
+        let single: Vec<&[u8]> = vec![b"...", b".aa a", b""];
+        let out = evaluate_many_split(&p, &split, &single, 4);
+        assert_eq!(out, evaluate_many(&p, &single, 4));
+        assert_eq!(out[1].len(), 4, "a-runs of \"aa a\": aa, a, a, a");
+        // No documents at all.
+        assert!(evaluate_many_split(&p, &split, &[], 4).is_empty());
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub mod simulate;
 
 pub use annotated::{AnnotatedPlan, AnnotatedSplitFn};
 pub use engine::{
-    evaluate_many, evaluate_many_split, evaluate_sequential, evaluate_split, ExecSpanner, SplitFn,
+    evaluate_many, evaluate_many_split, evaluate_sequential, evaluate_split, Engine, ExecSpanner,
+    SplitFn,
 };
 pub use incremental::IncrementalRunner;
 pub use simulate::{simulate_collection, simulate_split, SimReport};

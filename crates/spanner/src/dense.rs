@@ -1,0 +1,533 @@
+//! The dense evaluation engine: byte-class tables + a lazy DFA cache.
+//!
+//! The NFA engine ([`crate::eval`]) walks raw 256-byte [`ByteSet`]
+//! transitions state-by-state at every document position. This module
+//! compiles an [`EVsa`] once into a form that makes the per-byte work
+//! nearly constant:
+//!
+//! 1. **Alphabet compression** — the coarsest [`ByteClasses`] partition
+//!    refining every transition byte set, shared with the automata
+//!    substrate. Realistic spanners distinguish a handful of classes, so
+//!    tables indexed by class are tiny.
+//! 2. **Dense per-state tables** — for every `(state, class)` pair, the
+//!    precompiled list of matching transitions (no mask tests at match
+//!    time) plus deduplicated successor/predecessor state sets.
+//! 3. **A lazily-determinized DFA cache** — power-set states built on
+//!    demand while scanning a document, memoized per compiled automaton
+//!    so repeated evaluations (chunked corpora!) pay determinization
+//!    once. The cache is memory-bounded: when a scan would intern more
+//!    than [`DenseConfig::max_cache_states`] distinct sets, the engine
+//!    falls back to the exact NFA simulation, so results never change —
+//!    only speed.
+//!
+//! The lazy DFA runs in two directions: forward for Boolean acceptance
+//! ([`DenseEvsa::accepts`]) and backward for the viability pass feeding
+//! tuple enumeration ([`DenseEvsa::eval`]), which then reuses the shared
+//! forward search of [`crate::eval`] over the dense tables.
+
+use crate::byteset::ByteSet;
+use crate::eval::{self, forward_enumerate, post_states, EdgeCandidates, EdgeSource, ViableSource};
+use crate::evsa::EVsa;
+use crate::tuple::SpanRelation;
+use splitc_automata::classes::{ByteClassBuilder, ByteClasses};
+use splitc_automata::nfa::StateId;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Tuning knobs of the dense engine.
+#[derive(Debug, Clone, Copy)]
+pub struct DenseConfig {
+    /// Upper bound on interned power-set states per lazy DFA direction.
+    /// When a document scan would exceed it, the engine falls back to
+    /// the exact NFA simulation for that scan (results are unchanged).
+    pub max_cache_states: usize,
+}
+
+impl Default for DenseConfig {
+    fn default() -> Self {
+        // Power-set blowups of practical spanners are far smaller; the
+        // bound exists to keep adversarial automata from hoarding memory
+        // (each state costs `⌈|Q|/64⌉` words + one row of `u32`s).
+        DenseConfig {
+            max_cache_states: 8192,
+        }
+    }
+}
+
+/// Sentinel for a not-yet-computed lazy-DFA transition.
+const UNEXPLORED: u32 = u32::MAX;
+
+/// One direction of the lazily-determinized DFA: interned power-set
+/// states (bitsets over the eVSA states) and a dense `state × class`
+/// transition table filled on demand.
+#[derive(Debug, Default)]
+struct LazyDfa {
+    /// Interned state sets; index = DFA state id.
+    sets: Vec<Box<[u64]>>,
+    ids: HashMap<Box<[u64]>, u32>,
+    /// `rows[id * num_classes + class]` → successor id or [`UNEXPLORED`].
+    rows: Vec<u32>,
+}
+
+impl LazyDfa {
+    fn clear(&mut self) {
+        self.sets.clear();
+        self.ids.clear();
+        self.rows.clear();
+    }
+}
+
+/// Scratch state for dense scans: the two lazy DFAs plus a reusable
+/// per-position buffer. Caches persist across documents (that is the
+/// point of *lazy* determinization); obtain one per worker via the
+/// compiled automaton's internal pool.
+#[derive(Debug, Default)]
+pub struct DenseCache {
+    fwd: LazyDfa,
+    bwd: LazyDfa,
+    /// Backward-DFA state id per document position (`len = doc.len()+1`).
+    ids_buf: Vec<u32>,
+}
+
+/// An [`EVsa`] compiled for the dense engine.
+///
+/// Construction cost is `O(|Q| · classes + |δ|)`; evaluation reuses the
+/// compiled tables and an internal pool of [`DenseCache`]s, so the type
+/// is cheap to share across worker threads (wrap in `Arc`).
+#[derive(Debug)]
+pub struct DenseEvsa {
+    evsa: Arc<EVsa>,
+    config: DenseConfig,
+    classes: ByteClasses,
+    /// Number of byte classes.
+    nc: usize,
+    /// Number of eVSA states.
+    ns: usize,
+    /// Bitset words per power-set state.
+    words: usize,
+    /// CSR of transition indices per `(state, class)`; values index into
+    /// `evsa.transitions_from(state)`.
+    edge_off: Vec<u32>,
+    edge_pool: Vec<u32>,
+    /// CSR of deduplicated successor states per `(state, class)`.
+    succ_off: Vec<u32>,
+    succ_pool: Vec<StateId>,
+    /// CSR of deduplicated predecessor states per `(state, class)`.
+    pred_off: Vec<u32>,
+    pred_pool: Vec<StateId>,
+    /// States with at least one final block, as a bitset.
+    finals: Box<[u64]>,
+    /// `{start}` as a bitset.
+    start_set: Box<[u64]>,
+    /// Post flags (see [`crate::eval`]), precomputed once.
+    post: Vec<bool>,
+    /// Reusable scan caches, one handed to each concurrent evaluation.
+    caches: Mutex<Vec<DenseCache>>,
+}
+
+/// Flattens per-key vectors into CSR offsets + pool.
+fn to_csr<T: Copy>(per_key: Vec<Vec<T>>) -> (Vec<u32>, Vec<T>) {
+    let mut off = Vec::with_capacity(per_key.len() + 1);
+    let mut pool = Vec::new();
+    off.push(0u32);
+    for v in per_key {
+        pool.extend_from_slice(&v);
+        off.push(pool.len() as u32);
+    }
+    (off, pool)
+}
+
+impl DenseEvsa {
+    /// Compiles the dense tables for `evsa`.
+    pub fn compile(evsa: Arc<EVsa>, config: DenseConfig) -> DenseEvsa {
+        let ns = evsa.num_states();
+        let mut builder = ByteClassBuilder::new();
+        for m in evsa.byte_masks() {
+            builder.add_set(|b| m.contains(b));
+        }
+        let classes = builder.build();
+        let nc = classes.num_classes();
+        let reps = classes.representatives();
+        let words = ns.div_ceil(64);
+
+        // Classes refine every mask, so membership of the representative
+        // byte decides membership of the whole class.
+        let mut class_cache: HashMap<ByteSet, Vec<u16>> = HashMap::new();
+        let mut classes_of_mask = |m: &ByteSet| -> Vec<u16> {
+            class_cache
+                .entry(*m)
+                .or_insert_with(|| {
+                    (0..nc as u16)
+                        .filter(|&c| m.contains(reps[c as usize]))
+                        .collect()
+                })
+                .clone()
+        };
+
+        let mut edges: Vec<Vec<u32>> = vec![Vec::new(); ns * nc];
+        let mut succs: Vec<Vec<StateId>> = vec![Vec::new(); ns * nc];
+        let mut preds: Vec<Vec<StateId>> = vec![Vec::new(); ns * nc];
+        for q in 0..ns {
+            for (i, (_, mask, r)) in evsa.transitions_from(q as StateId).iter().enumerate() {
+                for c in classes_of_mask(mask) {
+                    let key = q * nc + c as usize;
+                    edges[key].push(i as u32);
+                    succs[key].push(*r);
+                    preds[*r as usize * nc + c as usize].push(q as StateId);
+                }
+            }
+        }
+        for v in succs.iter_mut().chain(preds.iter_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+        let (edge_off, edge_pool) = to_csr(edges);
+        let (succ_off, succ_pool) = to_csr(succs);
+        let (pred_off, pred_pool) = to_csr(preds);
+
+        let mut finals = vec![0u64; words].into_boxed_slice();
+        for q in 0..ns {
+            if !evsa.final_blocks(q as StateId).is_empty() {
+                finals[q >> 6] |= 1u64 << (q & 63);
+            }
+        }
+        let mut start_set = vec![0u64; words].into_boxed_slice();
+        if ns > 0 {
+            let s = evsa.start() as usize;
+            start_set[s >> 6] |= 1u64 << (s & 63);
+        }
+        let post = if ns > 0 {
+            post_states(&evsa)
+        } else {
+            Vec::new()
+        };
+
+        DenseEvsa {
+            evsa,
+            config,
+            classes,
+            nc,
+            ns,
+            words,
+            edge_off,
+            edge_pool,
+            succ_off,
+            succ_pool,
+            pred_off,
+            pred_pool,
+            finals,
+            start_set,
+            post,
+            caches: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The compiled automaton.
+    pub fn evsa(&self) -> &EVsa {
+        &self.evsa
+    }
+
+    /// The byte-class partition the tables are indexed by.
+    pub fn classes(&self) -> &ByteClasses {
+        &self.classes
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> DenseConfig {
+        self.config
+    }
+
+    fn take_cache(&self) -> DenseCache {
+        self.caches
+            .lock()
+            .expect("cache pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn return_cache(&self, cache: DenseCache) {
+        self.caches.lock().expect("cache pool poisoned").push(cache);
+    }
+
+    /// Interns a power-set state, or `None` when the memory bound is hit.
+    fn intern(&self, dfa: &mut LazyDfa, set: Box<[u64]>) -> Option<u32> {
+        if let Some(&id) = dfa.ids.get(&set) {
+            return Some(id);
+        }
+        if dfa.sets.len() >= self.config.max_cache_states {
+            return None;
+        }
+        let id = dfa.sets.len() as u32;
+        dfa.ids.insert(set.clone(), id);
+        dfa.sets.push(set);
+        dfa.rows.resize(dfa.rows.len() + self.nc, UNEXPLORED);
+        Some(id)
+    }
+
+    /// One lazy-DFA step: successor of interned state `id` on byte class
+    /// `c`, computed (and memoized) on first use. `backward` selects the
+    /// predecessor adjacency (viability) over the successor adjacency
+    /// (acceptance). `None` = cache bound hit.
+    fn step(&self, dfa: &mut LazyDfa, id: u32, c: usize, backward: bool) -> Option<u32> {
+        let cached = dfa.rows[id as usize * self.nc + c];
+        if cached != UNEXPLORED {
+            return Some(cached);
+        }
+        let (off, pool) = if backward {
+            (&self.pred_off, &self.pred_pool)
+        } else {
+            (&self.succ_off, &self.succ_pool)
+        };
+        let mut out = vec![0u64; self.words].into_boxed_slice();
+        for w in 0..self.words {
+            let mut bits = dfa.sets[id as usize][w];
+            while bits != 0 {
+                let q = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let base = q * self.nc + c;
+                for &t in &pool[off[base] as usize..off[base + 1] as usize] {
+                    out[t as usize >> 6] |= 1u64 << (t & 63);
+                }
+            }
+        }
+        let nid = self.intern(dfa, out)?;
+        dfa.rows[id as usize * self.nc + c] = nid;
+        Some(nid)
+    }
+
+    /// Runs the backward lazy DFA over `doc`, filling `cache.ids_buf`
+    /// with the viability-set id per position. `None` = cache bound hit.
+    fn lazy_viability(&self, doc: &[u8], cache: &mut DenseCache) -> Option<()> {
+        let n = doc.len();
+        let fid = self.intern(&mut cache.bwd, self.finals.clone())?;
+        cache.ids_buf.clear();
+        cache.ids_buf.resize(n + 1, 0);
+        cache.ids_buf[n] = fid;
+        let mut cur = fid;
+        for i in (0..n).rev() {
+            let c = self.classes.class_of(doc[i]);
+            cur = self.step(&mut cache.bwd, cur, c, true)?;
+            cache.ids_buf[i] = cur;
+        }
+        Some(())
+    }
+
+    /// Evaluates on a document, producing exactly the relation of
+    /// [`eval::eval_evsa`]. Uses a pooled [`DenseCache`].
+    pub fn eval(&self, doc: &[u8]) -> SpanRelation {
+        let mut cache = self.take_cache();
+        let out = self.eval_with(doc, &mut cache);
+        self.return_cache(cache);
+        out
+    }
+
+    /// Evaluates on a document with an explicit scan cache (one per
+    /// worker; reuse amortizes lazy determinization across documents).
+    pub fn eval_with(&self, doc: &[u8], cache: &mut DenseCache) -> SpanRelation {
+        if self.ns == 0 {
+            return SpanRelation::empty();
+        }
+        if self.lazy_viability(doc, cache).is_none() {
+            // Cache bound hit: exact fallback via the materialized
+            // bitset viability table. Drop the overflowed cache state so
+            // later (smaller) scans start fresh.
+            cache.bwd.clear();
+            let viable = eval::viability(&self.evsa, doc);
+            return forward_enumerate(&self.evsa, doc, &self.post, &viable, &DenseEdges(self));
+        }
+        let viable = LazyViable {
+            ids: &cache.ids_buf,
+            sets: &cache.bwd.sets,
+        };
+        forward_enumerate(&self.evsa, doc, &self.post, &viable, &DenseEdges(self))
+    }
+
+    /// Boolean acceptance (at least one output tuple), equal to
+    /// [`eval::accepts_evsa`]. Uses a pooled [`DenseCache`].
+    pub fn accepts(&self, doc: &[u8]) -> bool {
+        let mut cache = self.take_cache();
+        let out = self.accepts_with(doc, &mut cache);
+        self.return_cache(cache);
+        out
+    }
+
+    /// Boolean acceptance with an explicit scan cache.
+    pub fn accepts_with(&self, doc: &[u8], cache: &mut DenseCache) -> bool {
+        if self.ns == 0 {
+            return false;
+        }
+        let Some(mut cur) = self.intern(&mut cache.fwd, self.start_set.clone()) else {
+            cache.fwd.clear();
+            return eval::accepts_evsa(&self.evsa, doc);
+        };
+        for &b in doc {
+            let c = self.classes.class_of(b);
+            match self.step(&mut cache.fwd, cur, c, false) {
+                Some(id) => {
+                    cur = id;
+                    if cache.fwd.sets[cur as usize].iter().all(|&w| w == 0) {
+                        return false;
+                    }
+                }
+                None => {
+                    // Cache bound hit: exact NFA fallback.
+                    cache.fwd.clear();
+                    return eval::accepts_evsa(&self.evsa, doc);
+                }
+            }
+        }
+        cache.fwd.sets[cur as usize]
+            .iter()
+            .zip(self.finals.iter())
+            .any(|(a, f)| a & f != 0)
+    }
+}
+
+/// Viability view backed by the backward lazy DFA's interned sets.
+struct LazyViable<'a> {
+    ids: &'a [u32],
+    sets: &'a [Box<[u64]>],
+}
+
+impl ViableSource for LazyViable<'_> {
+    #[inline]
+    fn viable(&self, pos: usize, q: StateId) -> bool {
+        let q = q as usize;
+        self.sets[self.ids[pos] as usize][q >> 6] & (1u64 << (q & 63)) != 0
+    }
+}
+
+/// Edge source backed by the precompiled per-(state, class) lists.
+struct DenseEdges<'a>(&'a DenseEvsa);
+
+impl EdgeSource for DenseEdges<'_> {
+    #[inline]
+    fn candidates(&self, q: StateId, b: u8) -> EdgeCandidates<'_> {
+        let d = self.0;
+        let base = q as usize * d.nc + d.classes.class_of(b);
+        EdgeCandidates::List(&d.edge_pool[d.edge_off[base] as usize..d.edge_off[base + 1] as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{accepts_evsa, eval_evsa};
+    use crate::rgx::Rgx;
+    use crate::span::Span;
+    use crate::vars::VarId;
+
+    fn compile(pattern: &str) -> Arc<EVsa> {
+        let vsa = Rgx::parse(pattern).unwrap().to_vsa().unwrap();
+        Arc::new(EVsa::from_functional(&vsa.functionalize()))
+    }
+
+    fn dense(pattern: &str) -> DenseEvsa {
+        DenseEvsa::compile(compile(pattern), DenseConfig::default())
+    }
+
+    #[test]
+    fn eval_matches_nfa_engine() {
+        for (pat, docs) in [
+            (
+                ".*x{a+}.*",
+                vec![b"aabaa".to_vec(), b"".to_vec(), b"bbb".to_vec()],
+            ),
+            (
+                "x{a*}y{b*}",
+                vec![b"aabb".to_vec(), b"ab".to_vec(), b"ba".to_vec()],
+            ),
+            ("(a|b)*x{ab}(a|b)*", vec![b"abab".to_vec()]),
+            (".*x{}.*", vec![b"ab".to_vec()]),
+            ("x{[^.]+}(\\..*)?", vec![b"ab.cd".to_vec()]),
+        ] {
+            let e = compile(pat);
+            let d = DenseEvsa::compile(e.clone(), DenseConfig::default());
+            for doc in docs {
+                assert_eq!(d.eval(&doc), eval_evsa(&e, &doc), "pattern {pat}");
+            }
+        }
+    }
+
+    #[test]
+    fn accepts_matches_nfa_engine() {
+        let e = compile("a+b");
+        let d = DenseEvsa::compile(e.clone(), DenseConfig::default());
+        for doc in [b"aab".as_slice(), b"ab c", b"", b"b", b"aaab"] {
+            assert_eq!(d.accepts(doc), accepts_evsa(&e, doc));
+        }
+    }
+
+    #[test]
+    fn cache_overflow_falls_back_to_nfa() {
+        // A bound of 1 cannot even hold the second power-set state, so
+        // every scan takes the fallback path — results must not change.
+        let e = compile(".*x{a+}.*");
+        let tiny = DenseEvsa::compile(
+            e.clone(),
+            DenseConfig {
+                max_cache_states: 1,
+            },
+        );
+        let doc = b"aa b aa";
+        assert_eq!(tiny.eval(doc), eval_evsa(&e, doc));
+        assert_eq!(tiny.accepts(doc), accepts_evsa(&e, doc));
+        assert_eq!(tiny.eval(b""), eval_evsa(&e, b""));
+    }
+
+    #[test]
+    fn cache_is_reused_across_documents() {
+        let d = dense(".*x{a+}.*");
+        let mut cache = DenseCache::default();
+        let r1 = d.eval_with(b"aa b", &mut cache);
+        let interned_after_first = cache.bwd.sets.len();
+        let r2 = d.eval_with(b"aa b", &mut cache);
+        assert_eq!(r1, r2);
+        // Second scan of the same document interns nothing new.
+        assert_eq!(cache.bwd.sets.len(), interned_after_first);
+        assert!(interned_after_first > 0);
+    }
+
+    #[test]
+    fn long_document_dense() {
+        let doc = vec![b'a'; 1 << 18];
+        let d = dense("a*x{b*}a*");
+        let rel = d.eval(&doc);
+        assert_eq!(rel.len(), doc.len() + 1);
+        assert_eq!(rel.tuples()[0].get(VarId(0)), Span::new(0, 0));
+    }
+
+    #[test]
+    fn non_ascii_classes() {
+        let mut v = crate::vsa::Vsa::new(crate::vars::VarTable::new(["x"]).unwrap());
+        let q1 = v.add_state();
+        let q2 = v.add_state();
+        let hi = ByteSet::range(0x80, 0xFF);
+        v.add_transition(
+            0,
+            crate::vsa::Label::Op(crate::vars::VarOp::Open(VarId(0))),
+            q1,
+        );
+        v.add_transition(q1, crate::vsa::Label::Bytes(hi), q1);
+        v.add_transition(
+            q1,
+            crate::vsa::Label::Op(crate::vars::VarOp::Close(VarId(0))),
+            q2,
+        );
+        v.set_final(q2, true);
+        let e = Arc::new(EVsa::from_functional(&v.functionalize()));
+        let d = DenseEvsa::compile(e.clone(), DenseConfig::default());
+        for doc in [vec![0x80, 0xC3, 0xFF], vec![0x80, 0x20], vec![0x00], vec![]] {
+            assert_eq!(d.eval(&doc), eval_evsa(&e, &doc));
+        }
+    }
+
+    #[test]
+    fn empty_automaton() {
+        let v = crate::vsa::Vsa::new(crate::vars::VarTable::empty());
+        let e = Arc::new(EVsa::from_functional(&v));
+        let d = DenseEvsa::compile(e, DenseConfig::default());
+        assert!(d.eval(b"abc").is_empty());
+        assert!(!d.accepts(b"abc"));
+    }
+}

@@ -39,8 +39,62 @@ pub fn eval(vsa: &Vsa, doc: &[u8]) -> SpanRelation {
     eval_evsa(&EVsa::from_functional(&f), doc)
 }
 
+/// Per-position viable-state membership, abstracted so the forward
+/// enumeration runs unchanged over the materialized bitset table
+/// ([`Viability`]) or the dense engine's lazily-determinized backward
+/// pass ([`crate::dense`]).
+pub(crate) trait ViableSource {
+    /// Whether acceptance is still reachable from state `q` at document
+    /// position `pos`.
+    fn viable(&self, pos: usize, q: StateId) -> bool;
+}
+
+/// The edges of one state worth trying for one document byte.
+///
+/// The NFA path tries every outgoing transition and filters by byte mask;
+/// the dense path precompiles per-(state, byte-class) index lists, so no
+/// mask check is needed at match time.
+pub(crate) enum EdgeCandidates<'a> {
+    /// Try transition indices `0..n`, checking each byte mask.
+    All(usize),
+    /// Try exactly these transition indices; masks are pre-filtered.
+    List(&'a [u32]),
+}
+
+impl EdgeCandidates<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> Option<usize> {
+        match self {
+            EdgeCandidates::All(n) => (i < *n).then_some(i),
+            EdgeCandidates::List(s) => s.get(i).map(|&x| x as usize),
+        }
+    }
+
+    #[inline]
+    fn needs_mask_check(&self) -> bool {
+        matches!(self, EdgeCandidates::All(_))
+    }
+}
+
+/// Supplier of [`EdgeCandidates`] per (state, document byte).
+pub(crate) trait EdgeSource {
+    /// Candidate transition indices of `q` on byte `b` (indices into
+    /// [`EVsa::transitions_from`]`(q)`).
+    fn candidates(&self, q: StateId, b: u8) -> EdgeCandidates<'_>;
+}
+
+/// The NFA edge source: every transition is a candidate, mask-checked.
+pub(crate) struct AllEdges<'a>(pub(crate) &'a EVsa);
+
+impl EdgeSource for AllEdges<'_> {
+    #[inline]
+    fn candidates(&self, q: StateId, _b: u8) -> EdgeCandidates<'_> {
+        EdgeCandidates::All(self.0.transitions_from(q).len())
+    }
+}
+
 /// Per-position state bitsets.
-struct Viability {
+pub(crate) struct Viability {
     words: usize,
     bits: Vec<u64>,
 }
@@ -56,7 +110,14 @@ impl Viability {
     }
 }
 
-fn viability(evsa: &EVsa, doc: &[u8]) -> Viability {
+impl ViableSource for Viability {
+    #[inline]
+    fn viable(&self, pos: usize, q: StateId) -> bool {
+        self.get(pos, q as usize)
+    }
+}
+
+pub(crate) fn viability(evsa: &EVsa, doc: &[u8]) -> Viability {
     let n = doc.len();
     let ns = evsa.num_states();
     let words = ns.div_ceil(64);
@@ -86,7 +147,7 @@ fn viability(evsa: &EVsa, doc: &[u8]) -> Viability {
 /// Computes the *post* flag per state: true when the state's (unique)
 /// variable configuration has every variable closed, i.e. the output
 /// tuple of any run is already fully determined on entry.
-fn post_states(evsa: &EVsa) -> Vec<bool> {
+pub(crate) fn post_states(evsa: &EVsa) -> Vec<bool> {
     use std::collections::VecDeque;
     let nv = evsa.vars().len();
     let ns = evsa.num_states();
@@ -110,19 +171,35 @@ fn post_states(evsa: &EVsa) -> Vec<bool> {
     closed.iter().map(|&c| c != usize::MAX && c == nv).collect()
 }
 
-/// Evaluates a block-normal-form automaton on a document.
+/// Evaluates a block-normal-form automaton on a document with the NFA
+/// engine: a materialized backward viability table plus mask-checked
+/// per-transition scanning. The dense engine ([`crate::dense`]) runs the
+/// same enumeration over byte-class tables and a lazy-DFA viability pass.
 pub fn eval_evsa(evsa: &EVsa, doc: &[u8]) -> SpanRelation {
-    let n = doc.len();
-    let ns = evsa.num_states();
-    if ns == 0 {
+    if evsa.num_states() == 0 {
         return SpanRelation::empty();
     }
     let viable = viability(evsa, doc);
-    if !viable.get(0, evsa.start() as usize) {
+    let post = post_states(evsa);
+    forward_enumerate(evsa, doc, &post, &viable, &AllEdges(evsa))
+}
+
+/// The iterative forward search shared by the NFA and dense engines:
+/// enumerates tuples, entering only viable states, with the post-state
+/// cutoff. `post` must come from [`post_states`]; `viable` and `edges`
+/// select the engine.
+pub(crate) fn forward_enumerate<V: ViableSource, E: EdgeSource>(
+    evsa: &EVsa,
+    doc: &[u8],
+    post: &[bool],
+    viable: &V,
+    edges: &E,
+) -> SpanRelation {
+    let n = doc.len();
+    if !viable.viable(0, evsa.start()) {
         return SpanRelation::empty();
     }
     let nv = evsa.vars().len();
-    let post = post_states(evsa);
 
     const UNSET: usize = usize::MAX;
     let mut opens = vec![UNSET; nv];
@@ -226,11 +303,13 @@ pub fn eval_evsa(evsa: &EVsa, doc: &[u8]) -> SpanRelation {
 
         let b = doc[pos];
         let ts = evsa.transitions_from(state);
+        let cand = edges.candidates(state, b);
+        let mask_checked = cand.needs_mask_check();
         let mut advanced = false;
-        while frame.edge < ts.len() {
-            let (block, mask, r) = &ts[frame.edge];
+        while let Some(idx) = cand.get(frame.edge) {
             frame.edge += 1;
-            if !mask.contains(b) || !viable.get(pos + 1, *r as usize) {
+            let (block, mask, r) = &ts[idx];
+            if (mask_checked && !mask.contains(b)) || !viable.viable(pos + 1, *r) {
                 continue;
             }
             let mark = trail.len();
@@ -276,8 +355,8 @@ pub fn accepts_evsa(evsa: &EVsa, doc: &[u8]) -> bool {
     for &b in doc {
         let mut next = vec![false; ns];
         let mut any = false;
-        for q in 0..ns {
-            if !cur[q] {
+        for (q, &live) in cur.iter().enumerate() {
+            if !live {
                 continue;
             }
             for (_, mask, r) in evsa.transitions_from(q as StateId) {

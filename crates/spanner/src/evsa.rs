@@ -388,6 +388,12 @@ impl EVsa {
         out
     }
 
+    /// Compiles a shared copy of this automaton for the dense engine
+    /// (byte-class tables + lazy-DFA cache, see [`crate::dense`]).
+    pub fn compile_dense(&self, config: crate::dense::DenseConfig) -> crate::dense::DenseEvsa {
+        crate::dense::DenseEvsa::compile(Arc::new(self.clone()), config)
+    }
+
     /// Whether the normalized expansion would be deterministic: at most
     /// one continuation per (state, next extended symbol). This matches
     /// the paper's dfVSA after conversion.

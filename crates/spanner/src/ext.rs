@@ -12,8 +12,8 @@
 use crate::byteset::ByteSet;
 use crate::vars::{VarId, VarOp, VarTable};
 use crate::vsa::Vsa;
+use splitc_automata::classes::ByteClassBuilder;
 use splitc_automata::nfa::Sym;
-use std::collections::HashMap;
 
 /// A decoded extended-alphabet symbol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,21 +49,21 @@ impl ExtAlphabet {
         Self::from_masks(vars.clone(), &masks)
     }
 
-    /// Builds the alphabet from explicit byte sets.
+    /// Builds the alphabet from explicit byte sets, via the shared
+    /// [`ByteClassBuilder`] partition refinement.
     pub fn from_masks(vars: VarTable, masks: &[ByteSet]) -> ExtAlphabet {
-        // Signature of byte b = which masks contain it.
-        let mut sig_to_class: HashMap<Vec<bool>, u16> = HashMap::new();
-        let mut classes: Vec<ByteSet> = Vec::new();
+        let mut builder = ByteClassBuilder::new();
+        for m in masks {
+            builder.add_set(|b| m.contains(b));
+        }
+        let partition = builder.build();
+        let mut classes: Vec<ByteSet> = vec![ByteSet::EMPTY; partition.num_classes()];
         let mut class_of = vec![0u16; 256];
         for b in 0u16..256 {
             let b = b as u8;
-            let sig: Vec<bool> = masks.iter().map(|m| m.contains(b)).collect();
-            let id = *sig_to_class.entry(sig).or_insert_with(|| {
-                classes.push(ByteSet::EMPTY);
-                (classes.len() - 1) as u16
-            });
-            classes[id as usize].insert(b);
-            class_of[b as usize] = id;
+            let id = partition.class_of(b);
+            classes[id].insert(b);
+            class_of[b as usize] = id as u16;
         }
         ExtAlphabet {
             vars,

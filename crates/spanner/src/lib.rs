@@ -33,8 +33,13 @@
 //!   requests).
 //! * [`eval`] — evaluation of spanners on documents (output-sensitive
 //!   enumeration) plus a brute-force reference evaluator for testing.
+//! * [`dense`] — the dense engine: byte-class-compressed transition
+//!   tables and a memory-bounded lazy-DFA cache accelerating acceptance,
+//!   the viability pass, and compiled splitters, with exact fallback to
+//!   the NFA engine.
 
 pub mod byteset;
+pub mod dense;
 pub mod equiv;
 pub mod eval;
 pub mod evsa;
@@ -47,6 +52,7 @@ pub mod tuple;
 pub mod vars;
 pub mod vsa;
 
+pub use dense::{DenseCache, DenseConfig, DenseEvsa};
 pub use equiv::{spanner_contains, spanner_equivalent, SpannerCheck};
 pub use evsa::EVsa;
 pub use rgx::Rgx;

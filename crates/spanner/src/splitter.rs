@@ -17,7 +17,8 @@
 //!   test suite.
 
 use crate::byteset::ByteSet;
-use crate::eval::{eval, eval_evsa};
+use crate::dense::{DenseConfig, DenseEvsa};
+use crate::eval::eval;
 use crate::evsa::EVsa;
 use crate::rgx::{Ast, Rgx};
 use crate::span::Span;
@@ -25,6 +26,7 @@ use crate::vars::{VarId, VarOp};
 use crate::vsa::{Label, Vsa};
 use splitc_automata::nfa::StateId;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// A document splitter: a unary spanner.
 #[derive(Debug, Clone)]
@@ -72,15 +74,22 @@ impl Splitter {
             .collect()
     }
 
-    /// Compiled splitting for repeated use.
+    /// Compiled splitting for repeated use: block normal form plus the
+    /// dense byte-class / lazy-DFA fast path (see [`crate::dense`]).
     pub fn compile(&self) -> CompiledSplitter {
+        self.compile_with(DenseConfig::default())
+    }
+
+    /// [`Splitter::compile`] with explicit dense-engine configuration.
+    pub fn compile_with(&self, config: DenseConfig) -> CompiledSplitter {
         let f = if self.vsa.is_functional() {
             self.vsa.trim()
         } else {
             self.vsa.functionalize()
         };
+        let evsa = Arc::new(EVsa::from_functional(&f));
         CompiledSplitter {
-            evsa: EVsa::from_functional(&f),
+            dense: Arc::new(DenseEvsa::compile(evsa, config)),
         }
     }
 
@@ -248,21 +257,29 @@ pub fn two_run_report(e1: &EVsa, e2: &EVsa) -> TwoRunReport {
     report
 }
 
-/// A splitter compiled to block normal form.
+/// A splitter compiled to block normal form, with the dense engine's
+/// byte-class tables and lazy-DFA cache as the splitting fast path.
 #[derive(Debug, Clone)]
 pub struct CompiledSplitter {
-    evsa: EVsa,
+    dense: Arc<DenseEvsa>,
 }
 
 impl CompiledSplitter {
     /// The underlying block-normal-form automaton.
     pub fn evsa(&self) -> &EVsa {
-        &self.evsa
+        self.dense.evsa()
     }
 
-    /// Splits a document.
+    /// The dense-engine compilation of the splitter.
+    pub fn dense(&self) -> &DenseEvsa {
+        &self.dense
+    }
+
+    /// Splits a document (dense fast path; exact NFA fallback when the
+    /// lazy-DFA cache bound is hit).
     pub fn split(&self, doc: &[u8]) -> Vec<Span> {
-        eval_evsa(&self.evsa, doc)
+        self.dense
+            .eval(doc)
             .iter()
             .map(|t| t.get(VarId(0)))
             .collect()

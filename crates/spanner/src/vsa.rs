@@ -243,9 +243,9 @@ impl Vsa {
             }
         }
         let mut bwd = vec![false; n];
-        for q in 0..n {
-            if self.finals[q] {
-                bwd[q] = true;
+        for (q, (b, &fin)) in bwd.iter_mut().zip(self.finals.iter()).enumerate() {
+            if fin {
+                *b = true;
                 queue.push_back(q as StateId);
             }
         }
@@ -352,13 +352,13 @@ impl Vsa {
     pub fn is_functional(&self) -> bool {
         let t = self.trim();
         let configs = t.reachable_configs();
-        for q in 0..t.num_states() {
-            match configs[q].len() {
+        for (q, qconfigs) in configs.iter().enumerate() {
+            match qconfigs.len() {
                 0 => continue, // unreachable (dead start corner case)
                 1 => {}
                 _ => return false, // two configs: some completion is invalid
             }
-            let c = configs[q][0];
+            let c = qconfigs[0];
             if t.finals[q] && !c.all_closed(t.vars.len()) {
                 return false;
             }

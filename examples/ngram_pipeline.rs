@@ -48,12 +48,25 @@ fn main() {
         ..Default::default()
     };
     let doc = textgen::wiki_corpus(&cfg);
+    // `compile` defaults to the dense engine (byte-class tables + lazy
+    // DFA); compare against the plain NFA simulation on the same corpus.
     let spanner = ExecSpanner::compile(&bigrams);
+    let nfa_spanner = ExecSpanner::compile_with(&bigrams, Engine::Nfa);
     let split: SplitFn = Arc::new(native_splitters::sentences);
 
     let t0 = Instant::now();
+    let seq_nfa = evaluate_sequential(&nfa_spanner, &doc);
+    let t_nfa = t0.elapsed();
+    let t0 = Instant::now();
     let seq = evaluate_sequential(&spanner, &doc);
     let t_seq = t0.elapsed();
+    assert_eq!(seq, seq_nfa, "engines agree");
+    println!(
+        "engines: nfa {:?} vs dense {:?} ({:.2}x) on whole-document evaluation",
+        t_nfa,
+        t_seq,
+        t_nfa.as_secs_f64() / t_seq.as_secs_f64().max(1e-9),
+    );
 
     for workers in [1, 2, 5] {
         let t0 = Instant::now();

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Sanity-checks a BENCH JSON-lines file produced by bench_smoke.sh.
+
+Verifies the stable row schema and that the dense engine beats the NFA
+engine by the required factor on at least one e-series benchmark.
+
+Usage: scripts/bench_check.py BENCH_pr.json [min-speedup]
+"""
+import json
+import sys
+
+REQUIRED = {"bench": str, "engine": str, "bytes": int, "wall_ms": (int, float), "tuples": int}
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr.json"
+    min_speedup = float(sys.argv[2]) if len(sys.argv) > 2 else 1.5
+    rows = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            for key, ty in REQUIRED.items():
+                if key not in row or not isinstance(row[key], ty):
+                    print(f"schema violation in row {row!r}: field {key}")
+                    return 1
+            rows.append(row)
+    if not rows:
+        print(f"{path} is empty")
+        return 1
+
+    by_bench = {}
+    for row in rows:
+        by_bench.setdefault(row["bench"], {})[row["engine"]] = row["wall_ms"]
+    best = 0.0
+    best_bench = None
+    for bench, engines in sorted(by_bench.items()):
+        if not bench.startswith("e") or "nfa" not in engines or "dense" not in engines:
+            continue
+        speedup = engines["nfa"] / max(engines["dense"], 1e-9)
+        print(f"{bench}: nfa {engines['nfa']:.2f} ms, dense {engines['dense']:.2f} ms "
+              f"-> {speedup:.2f}x")
+        if speedup > best:
+            best, best_bench = speedup, bench
+    if best_bench is None:
+        print("no e-series benchmark has both engines")
+        return 1
+    if best < min_speedup:
+        print(f"best dense speedup {best:.2f}x on {best_bench} "
+              f"is below the required {min_speedup:.2f}x")
+        return 1
+    print(f"OK: {len(rows)} rows; best dense speedup {best:.2f}x on {best_bench}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Benchmark smoke run: a small fixed-seed subset of the experiment
+# binaries with both evaluation engines, collecting the machine-readable
+# `BENCH {json}` rows into a JSON-lines file (schema:
+# {"bench","engine","bytes","wall_ms","tuples"} — see README.md,
+# "Performance & benchmarks"). CI uploads the output as the
+# `BENCH_pr.json` artifact, so the perf trajectory accumulates per PR.
+#
+# Usage: scripts/bench_smoke.sh [out-file]   (default: BENCH_pr.json)
+# Honors SC_SCALE (default 0.125 here: ~1 MiB corpora, seconds not
+# minutes). Corpus seeds are fixed inside the binaries, so rows are
+# comparable across runs up to machine noise.
+set -eu
+
+out="${1:-BENCH_pr.json}"
+scale="${SC_SCALE:-0.125}"
+: >"$out"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+run() {
+  bin="$1"
+  engine="$2"
+  echo "== $bin --engine $engine (SC_SCALE=$scale)" >&2
+  # Capture to a file first so a crashing binary fails the job (a pipe
+  # would report only sed's exit status).
+  SC_SCALE="$scale" "./target/release/$bin" --engine "$engine" >"$tmp"
+  sed -n 's/^BENCH //p' "$tmp" >>"$out"
+}
+
+run e1_ngram_speedup nfa
+run e1_ngram_speedup dense
+run e2_pubmed_speedup nfa
+run e2_pubmed_speedup dense
+run e4_reviews_speedup nfa
+run e4_reviews_speedup dense
+run t2_splitcorrect_scaling dense
+
+echo "wrote $(wc -l <"$out") rows to $out" >&2
+cat "$out"

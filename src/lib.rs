@@ -57,8 +57,8 @@ pub mod prelude {
         splittable, SplittabilityVerdict, Verdict,
     };
     pub use splitc_exec::{
-        evaluate_many, evaluate_many_split, evaluate_sequential, evaluate_split, ExecSpanner,
-        IncrementalRunner, SplitFn,
+        evaluate_many, evaluate_many_split, evaluate_sequential, evaluate_split, Engine,
+        ExecSpanner, IncrementalRunner, SplitFn,
     };
     pub use splitc_spanner::splitter as splitters;
     pub use splitc_spanner::splitter::native as native_splitters;
