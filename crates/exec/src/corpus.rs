@@ -1,0 +1,424 @@
+//! Streaming sharded corpus execution.
+//!
+//! [`CorpusRunner`] is the production shape of the paper's parallel
+//! evaluation payoff: instead of materializing every document and
+//! calling [`crate::evaluate_many_split`], it *streams* each document
+//! through a [`StreamingSplitter`] (constant memory per document),
+//! batches the emitted segments to amortize dispatch, fans the batches
+//! out to a worker pool over a **bounded** queue (backpressure, so peak
+//! memory is `chunk size + queue depth × batch bytes`, never corpus
+//! size), evaluates each batch with the dense engine through a
+//! per-worker lazy-DFA cache, and aggregates per-document
+//! [`SpanRelation`]s with deterministic ordering regardless of worker
+//! scheduling.
+//!
+//! When `P = P_S ∘ S` has been certified split-correct
+//! (`splitc-core`), the relations returned here equal whole-document
+//! evaluation of `P` — the differential proptest suite asserts equality
+//! with [`crate::evaluate_many_split`] on every run.
+
+use crate::engine::ExecSpanner;
+use crate::stream::{Segment, StreamingSplitter};
+use parking_lot::Mutex;
+use splitc_spanner::dense::{DenseCache, DenseCacheStats};
+use splitc_spanner::splitter::CompiledSplitter;
+use splitc_spanner::tuple::{SpanRelation, SpanTuple};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+
+/// Tuning knobs of a [`CorpusRunner`].
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusRunnerConfig {
+    /// Evaluation worker threads (the producer streams and splits on the
+    /// calling thread). `0` is normalized to 1, matching the contract of
+    /// the engine's pool entry points.
+    pub workers: usize,
+    /// Target payload per dispatched batch: segments are accumulated
+    /// until their combined length reaches this many bytes, so corpora
+    /// of tiny segments do not pay one queue round-trip per segment.
+    pub batch_bytes: usize,
+    /// Capacity of the bounded work queue, in batches. The producer
+    /// blocks when the queue is full (backpressure), which bounds peak
+    /// in-flight segment memory at `queue_depth × batch_bytes` plus one
+    /// batch per worker.
+    pub queue_depth: usize,
+    /// Chunk size used by [`CorpusRunner::run_slices`] when feeding
+    /// already-materialized documents through the streaming path.
+    pub chunk_bytes: usize,
+}
+
+impl Default for CorpusRunnerConfig {
+    fn default() -> Self {
+        CorpusRunnerConfig {
+            workers: 4,
+            batch_bytes: 32 << 10,
+            queue_depth: 8,
+            chunk_bytes: 64 << 10,
+        }
+    }
+}
+
+/// Run statistics of one [`CorpusRunner`] invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Documents streamed.
+    pub docs: usize,
+    /// Split segments evaluated.
+    pub segments: usize,
+    /// Total bytes across all evaluated segments.
+    pub segment_bytes: u64,
+    /// Batches dispatched to the worker pool.
+    pub batches: usize,
+    /// Largest byte window any document's streaming splitter held at
+    /// once — bounded by segment + chunk length for prompt splitters,
+    /// not by document size.
+    pub peak_buffered_bytes: usize,
+    /// Aggregated per-worker lazy-DFA cache statistics (all zero under
+    /// [`crate::Engine::Nfa`]).
+    pub cache: DenseCacheStats,
+}
+
+/// The outcome of a corpus run: one relation per input document (in
+/// input order) plus run statistics.
+#[derive(Debug, Clone)]
+pub struct CorpusResult {
+    /// Per-document span relations, index-aligned with the input order.
+    pub relations: Vec<SpanRelation>,
+    /// Statistics of the run.
+    pub stats: CorpusStats,
+}
+
+/// A batch of split segments bound for one worker. Batches may span
+/// document boundaries, so collections of tiny documents still fill
+/// them.
+struct Batch {
+    /// `(document index, segment)` pairs, in stream order.
+    segments: Vec<(usize, Segment)>,
+}
+
+/// Streaming sharded corpus executor. See the [module docs](self) for
+/// the pipeline shape; construct with [`CorpusRunner::new`] and feed a
+/// corpus with [`CorpusRunner::run_streams`] (chunked sources) or
+/// [`CorpusRunner::run_slices`] (materialized documents, driven through
+/// the same streaming path).
+#[derive(Debug)]
+pub struct CorpusRunner {
+    spanner: ExecSpanner,
+    splitter: CompiledSplitter,
+    config: CorpusRunnerConfig,
+}
+
+impl CorpusRunner {
+    /// Creates a runner evaluating `spanner` over the segments produced
+    /// by `splitter`. For results equal to whole-document evaluation the
+    /// pair must be certified split-correct; the runner itself computes
+    /// `P_S ∘ S` faithfully either way.
+    pub fn new(
+        spanner: ExecSpanner,
+        splitter: CompiledSplitter,
+        config: CorpusRunnerConfig,
+    ) -> CorpusRunner {
+        CorpusRunner {
+            spanner,
+            splitter,
+            config,
+        }
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> &CorpusRunnerConfig {
+        &self.config
+    }
+
+    /// Streams a corpus of chunked document sources through the
+    /// pipeline. Each item of `docs` is one document, delivered as an
+    /// iterator of byte chunks (e.g. reads from a file or a generator) —
+    /// no document is ever materialized by the runner.
+    pub fn run_streams<D, C, B>(&self, docs: D) -> CorpusResult
+    where
+        D: IntoIterator<Item = C>,
+        C: IntoIterator<Item = B>,
+        B: AsRef<[u8]>,
+    {
+        let workers = self.config.workers.max(1);
+        let mut stats = CorpusStats::default();
+        let mut partials: Vec<(usize, Vec<SpanTuple>)> = Vec::new();
+        let mut cache_stats = DenseCacheStats::default();
+
+        let (tx, rx) = sync_channel::<Batch>(self.config.queue_depth.max(1));
+        let rx = Mutex::new(rx);
+        // Set when any worker's evaluation panics. Workers keep draining
+        // the queue afterwards (without evaluating), so the producer's
+        // blocking `send` on the bounded queue can never deadlock; the
+        // panic is re-raised below once the scope has unwound cleanly.
+        let failed = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| scope.spawn(|| self.worker(&rx, &failed)))
+                .collect();
+
+            // Producer: split on the calling thread, dispatch batches.
+            // Accumulates segments (across document boundaries) until the
+            // batch payload target is reached, then blocks on the bounded
+            // queue — that block is the backpressure that caps in-flight
+            // memory.
+            struct Producer<'a> {
+                tx: std::sync::mpsc::SyncSender<Batch>,
+                batch: Vec<(usize, Segment)>,
+                batch_bytes: usize,
+                target: usize,
+                stats: &'a mut CorpusStats,
+            }
+            impl Producer<'_> {
+                fn segment(&mut self, di: usize, seg: Segment) {
+                    self.stats.segments += 1;
+                    self.stats.segment_bytes += seg.bytes.len() as u64;
+                    self.batch_bytes += seg.bytes.len();
+                    self.batch.push((di, seg));
+                    if self.batch_bytes >= self.target {
+                        self.flush();
+                    }
+                }
+                fn flush(&mut self) {
+                    if self.batch.is_empty() {
+                        return;
+                    }
+                    self.stats.batches += 1;
+                    self.batch_bytes = 0;
+                    let _ = self.tx.send(Batch {
+                        segments: std::mem::take(&mut self.batch),
+                    });
+                }
+            }
+            let mut producer = Producer {
+                tx,
+                batch: Vec::new(),
+                batch_bytes: 0,
+                target: self.config.batch_bytes.max(1),
+                stats: &mut stats,
+            };
+            for (di, doc) in docs.into_iter().enumerate() {
+                producer.stats.docs += 1;
+                let mut splitter = StreamingSplitter::new(&self.splitter);
+                for chunk in doc {
+                    for seg in splitter.push(chunk.as_ref()) {
+                        producer.segment(di, seg);
+                    }
+                }
+                producer.stats.peak_buffered_bytes = producer
+                    .stats
+                    .peak_buffered_bytes
+                    .max(splitter.peak_buffered_bytes());
+                for seg in splitter.finish() {
+                    producer.segment(di, seg);
+                }
+            }
+            producer.flush();
+            drop(producer);
+
+            for h in handles {
+                let (tuples, cache) = h.join().expect("corpus worker panicked");
+                partials.extend(tuples);
+                cache_stats = cache_stats.merge(cache);
+            }
+        });
+        assert!(
+            !failed.load(Ordering::Relaxed),
+            "a corpus worker panicked while evaluating a batch"
+        );
+
+        stats.cache = cache_stats;
+        // Deterministic aggregation: `from_tuples` sorts and dedups, so
+        // the result is independent of batch and worker scheduling.
+        let mut per_doc: Vec<Vec<SpanTuple>> = (0..stats.docs).map(|_| Vec::new()).collect();
+        for (di, tuples) in partials {
+            per_doc[di].extend(tuples);
+        }
+        CorpusResult {
+            relations: per_doc.into_iter().map(SpanRelation::from_tuples).collect(),
+            stats,
+        }
+    }
+
+    /// Runs already-materialized documents through the streaming path,
+    /// feeding each in [`CorpusRunnerConfig::chunk_bytes`] chunks. This
+    /// is the entry point the differential tests and the
+    /// `e5_corpus_stream` benchmark compare against
+    /// [`crate::evaluate_many_split`].
+    pub fn run_slices(&self, docs: &[&[u8]]) -> CorpusResult {
+        let chunk = self.config.chunk_bytes.max(1);
+        self.run_streams(docs.iter().map(|d| d.chunks(chunk)))
+    }
+
+    /// One evaluation worker: drains the queue, evaluates each segment
+    /// with a worker-local dense cache, and returns shifted tuples
+    /// grouped by document index. Evaluation panics are caught and
+    /// recorded in `failed` — the worker then keeps draining (without
+    /// evaluating) so the producer never deadlocks on the bounded queue.
+    fn worker(
+        &self,
+        rx: &Mutex<Receiver<Batch>>,
+        failed: &AtomicBool,
+    ) -> (Vec<(usize, Vec<SpanTuple>)>, DenseCacheStats) {
+        let mut cache = DenseCache::default();
+        let mut out: Vec<(usize, Vec<SpanTuple>)> = Vec::new();
+        loop {
+            // Hold the lock across `recv`: batches are coarse, so the
+            // serialization this imposes on the pop path is noise, and it
+            // keeps the pool free of a lock-free queue dependency.
+            let batch = match rx.lock().recv() {
+                Ok(b) => b,
+                Err(_) => break, // producer hung up and queue drained
+            };
+            if failed.load(Ordering::Relaxed) {
+                continue; // drain-only after a failure elsewhere
+            }
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut local_out: Vec<(usize, Vec<SpanTuple>)> = Vec::new();
+                for (di, seg) in batch.segments {
+                    let local = match self.spanner.dense() {
+                        Some(d) => d.eval_with(&seg.bytes, &mut cache),
+                        None => self.spanner.eval(&seg.bytes),
+                    };
+                    let tuples: Vec<SpanTuple> = local.iter().map(|t| t.shift(seg.span)).collect();
+                    if !tuples.is_empty() {
+                        local_out.push((di, tuples));
+                    }
+                }
+                local_out
+            }));
+            match result {
+                Ok(tuples) => out.extend(tuples),
+                Err(_) => failed.store(true, Ordering::Relaxed),
+            }
+        }
+        (out, cache.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{evaluate_many_split, split_fn_of_splitter, Engine, SplitFn};
+    use splitc_spanner::rgx::Rgx;
+    use splitc_spanner::splitter;
+    use splitc_spanner::vsa::Vsa;
+
+    fn vsa(pat: &str) -> Vsa {
+        Rgx::parse(pat).unwrap().to_vsa().unwrap()
+    }
+
+    fn runner(pat: &str, config: CorpusRunnerConfig) -> CorpusRunner {
+        CorpusRunner::new(
+            ExecSpanner::compile(&vsa(pat)),
+            splitter::sentences().compile(),
+            config,
+        )
+    }
+
+    fn docs() -> Vec<Vec<u8>> {
+        vec![
+            b"aa bb. aaa. b aa".to_vec(),
+            b"".to_vec(),
+            b"no delimiter aaa".to_vec(),
+            b"a.a.a.".to_vec(),
+            b"...".to_vec(),
+        ]
+    }
+
+    #[test]
+    fn matches_evaluate_many_split() {
+        let owned = docs();
+        let refs: Vec<&[u8]> = owned.iter().map(Vec::as_slice).collect();
+        let r = runner(
+            ".*x{a+}.*",
+            CorpusRunnerConfig {
+                workers: 3,
+                batch_bytes: 4,
+                queue_depth: 2,
+                chunk_bytes: 3,
+            },
+        );
+        let got = r.run_slices(&refs);
+        let split: SplitFn = split_fn_of_splitter(&splitter::sentences());
+        let spanner = ExecSpanner::compile(&vsa(".*x{a+}.*"));
+        let expected = evaluate_many_split(&spanner, &split, &refs, 3);
+        assert_eq!(got.relations, expected);
+        assert_eq!(got.stats.docs, refs.len());
+        assert!(got.stats.segments > 0);
+    }
+
+    #[test]
+    fn nfa_engine_and_zero_workers() {
+        let owned = docs();
+        let refs: Vec<&[u8]> = owned.iter().map(Vec::as_slice).collect();
+        let r = CorpusRunner::new(
+            ExecSpanner::compile_with(&vsa(".*x{a+}.*"), Engine::Nfa),
+            splitter::sentences().compile(),
+            CorpusRunnerConfig {
+                workers: 0,
+                ..Default::default()
+            },
+        );
+        let got = r.run_slices(&refs);
+        let split: SplitFn = split_fn_of_splitter(&splitter::sentences());
+        let spanner = ExecSpanner::compile(&vsa(".*x{a+}.*"));
+        assert_eq!(
+            got.relations,
+            evaluate_many_split(&spanner, &split, &refs, 1)
+        );
+        assert_eq!(got.stats.cache, DenseCacheStats::default());
+    }
+
+    #[test]
+    fn cache_is_warm_on_repetitive_corpora() {
+        let owned: Vec<Vec<u8>> = (0..50).map(|_| b"aa bb. cc aa. aaa".to_vec()).collect();
+        let refs: Vec<&[u8]> = owned.iter().map(Vec::as_slice).collect();
+        let r = runner(
+            ".*x{a+}.*",
+            CorpusRunnerConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let got = r.run_slices(&refs);
+        assert!(
+            got.stats.cache.hit_rate() > 0.9,
+            "lazy DFA should be amortized: {:?}",
+            got.stats.cache
+        );
+    }
+
+    #[test]
+    fn streaming_buffer_is_bounded() {
+        // One 64 KiB document of short sentences, streamed in 512-byte
+        // chunks: the splitter window must stay near segment + chunk.
+        let doc: Vec<u8> = (0..4096)
+            .flat_map(|_| b"aaaa bb aaaa cc.".to_vec())
+            .collect();
+        let refs: Vec<&[u8]> = vec![&doc];
+        let r = runner(
+            ".*x{a+}.*",
+            CorpusRunnerConfig {
+                workers: 2,
+                chunk_bytes: 512,
+                ..Default::default()
+            },
+        );
+        let got = r.run_slices(&refs);
+        assert!(
+            got.stats.peak_buffered_bytes <= 512 + 64,
+            "peak {} should be ~chunk+segment, doc is {}",
+            got.stats.peak_buffered_bytes,
+            doc.len()
+        );
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let r = runner("x{a*}", CorpusRunnerConfig::default());
+        let got = r.run_slices(&[]);
+        assert!(got.relations.is_empty());
+        assert_eq!(got.stats, CorpusStats::default());
+    }
+}

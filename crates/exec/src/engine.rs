@@ -102,6 +102,13 @@ impl ExecSpanner {
         &self.evsa
     }
 
+    /// The dense compilation, when this spanner uses [`Engine::Dense`].
+    /// Exposed for callers that manage their own per-worker
+    /// [`splitc_spanner::dense::DenseCache`]s (the corpus runner).
+    pub(crate) fn dense(&self) -> Option<&Arc<DenseEvsa>> {
+        self.dense.as_ref()
+    }
+
     /// Evaluates on one document.
     pub fn eval(&self, doc: &[u8]) -> SpanRelation {
         match &self.dense {
@@ -120,6 +127,9 @@ pub fn evaluate_sequential(spanner: &ExecSpanner, doc: &[u8]) -> SpanRelation {
 /// spanner on every chunk on a pool of `workers` threads, shifts and
 /// unions the results. When `P = P_S ∘ S` has been certified, this
 /// equals `evaluate_sequential(P, doc)`.
+///
+/// `workers == 0` is normalized to 1 (sequential evaluation on the
+/// calling thread), as in every pool entry point of this crate.
 pub fn evaluate_split(
     split_spanner: &ExecSpanner,
     split: &SplitFn,
@@ -144,6 +154,7 @@ pub fn evaluate_split(
 /// Evaluates the spanner over a collection of documents, one task per
 /// document (the "pre-parallel" baseline of the paper's Spark
 /// experiments). Returns one relation per document, in order.
+/// `workers == 0` is normalized to 1.
 pub fn evaluate_many(spanner: &ExecSpanner, docs: &[&[u8]], workers: usize) -> Vec<SpanRelation> {
     run_pool(workers, docs.len(), |i| spanner.eval(docs[i]))
 }
@@ -152,6 +163,7 @@ pub fn evaluate_many(spanner: &ExecSpanner, docs: &[&[u8]], workers: usize) -> V
 /// every document is split and each (doc, chunk) pair becomes one pool
 /// task — more, smaller tasks for the same pool, reproducing the paper's
 /// observation that splitting helps even for pre-parallel collections.
+/// `workers == 0` is normalized to 1.
 pub fn evaluate_many_split(
     split_spanner: &ExecSpanner,
     split: &SplitFn,
@@ -191,12 +203,17 @@ pub fn evaluate_many_split(
 
 /// Runs `n` independent tasks on `workers` threads with work stealing
 /// via a shared atomic counter; collects results in task order.
+///
+/// `workers == 0` is normalized to 1: the pool entry points document
+/// "0 means sequential" rather than panicking deep inside the engine,
+/// so callers can pass a possibly-zero configured value straight
+/// through.
 fn run_pool<T, F>(workers: usize, n: usize, task: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    assert!(workers >= 1, "need at least one worker");
+    let workers = workers.max(1);
     if workers == 1 || n <= 1 {
         return (0..n).map(task).collect();
     }
@@ -349,6 +366,25 @@ mod tests {
         assert_eq!(out[1].len(), 4, "a-runs of \"aa a\": aa, a, a, a");
         // No documents at all.
         assert!(evaluate_many_split(&p, &split, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn zero_workers_normalized_to_sequential() {
+        // The documented contract: `workers == 0` behaves exactly like
+        // `workers == 1` in every pool entry point (it used to panic).
+        let p = spanner(".*x{a+}.*");
+        let split: SplitFn = Arc::new(native::sentences);
+        let doc = b"aa bb aaa. a. bbb aa";
+        let docs: Vec<&[u8]> = vec![doc, b"", b"a.a"];
+        assert_eq!(
+            evaluate_split(&p, &split, doc, 0),
+            evaluate_split(&p, &split, doc, 1)
+        );
+        assert_eq!(evaluate_many(&p, &docs, 0), evaluate_many(&p, &docs, 1));
+        assert_eq!(
+            evaluate_many_split(&p, &split, &docs, 0),
+            evaluate_many_split(&p, &split, &docs, 1)
+        );
     }
 
     #[test]

@@ -15,6 +15,16 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 /// Cache statistics of an [`IncrementalRunner`].
+///
+/// One segment evaluation is counted per split span of every document
+/// passed to [`IncrementalRunner::eval`]: a *hit* reuses the relation
+/// stored for identical segment content (identical content ⇒ identical
+/// relation, since spanners are functions of the segment bytes), a
+/// *miss* evaluates the spanner and populates the cache. After an edit
+/// that touches `k` of `n` segments, expect `k` misses and `n − k` hits
+/// — the quantitative form of the paper's "only the relevant segments
+/// need to be reprocessed". Counters are cumulative until
+/// [`IncrementalRunner::clear`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Segments answered from cache.
@@ -25,7 +35,15 @@ pub struct CacheStats {
 
 /// Incremental evaluator: splits documents and caches per-segment
 /// relations keyed by segment content hash (with collision verification
-/// against the stored content length).
+/// against the stored content bytes, so hash collisions cost a re-check,
+/// never a wrong answer).
+///
+/// The cache is shared across documents and unbounded; call
+/// [`IncrementalRunner::clear`] between unrelated corpora, and use
+/// [`IncrementalRunner::cache_len`] / [`IncrementalRunner::stats`] to
+/// size and measure it. Evaluation is sequential per document — for
+/// corpus-scale parallel streaming see [`crate::corpus::CorpusRunner`],
+/// which trades this cache for per-worker lazy-DFA caches.
 pub struct IncrementalRunner {
     spanner: ExecSpanner,
     split: SplitFn,
@@ -50,7 +68,10 @@ impl IncrementalRunner {
     }
 
     /// Evaluates `P_S ∘ S` on the document, reusing cached segment
-    /// results.
+    /// results: each split span's relation is looked up by content,
+    /// computed on miss, shifted by the span's offset (`≫`), and the
+    /// union is returned. Equals whole-document evaluation of `P`
+    /// whenever `P = P_S ∘ S` is certified.
     pub fn eval(&self, doc: &[u8]) -> SpanRelation {
         let chunks = (self.split)(doc);
         let mut tuples: Vec<SpanTuple> = Vec::new();

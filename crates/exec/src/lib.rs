@@ -17,16 +17,33 @@
 //!   caching keyed by segment content, so re-evaluating an edited
 //!   document only recomputes the touched segments (the paper's
 //!   Wikipedia-edit scenario).
+//! * **Streaming sharded corpus execution** ([`stream`], [`corpus`]):
+//!   documents are split *while being read* (chunk by chunk, constant
+//!   memory via [`stream::StreamingSplitter`]) and the resulting
+//!   segments are batched and fanned out to a worker pool over a
+//!   bounded queue with per-worker dense-engine caches
+//!   ([`corpus::CorpusRunner`]) — the shape that scales split-correct
+//!   evaluation to corpora larger than memory.
+//!
+//! The repository's top-level `ARCHITECTURE.md` shows where this crate
+//! sits in the full pipeline (regex → VSA/eVSA → engines → execution).
 
 pub mod annotated;
+pub mod corpus;
 pub mod engine;
 pub mod incremental;
 pub mod simulate;
+pub mod stream;
 
 pub use annotated::{AnnotatedPlan, AnnotatedSplitFn};
+pub use corpus::{CorpusResult, CorpusRunner, CorpusRunnerConfig, CorpusStats};
 pub use engine::{
     evaluate_many, evaluate_many_split, evaluate_sequential, evaluate_split, Engine, ExecSpanner,
     SplitFn,
 };
 pub use incremental::IncrementalRunner;
 pub use simulate::{simulate_collection, simulate_split, SimReport};
+pub use stream::{Segment, StreamingSplitter};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,131 @@
+//! Property-based differential tests for the streaming execution layer.
+//!
+//! The two invariants the streaming subsystem promises:
+//!
+//! 1. [`StreamingSplitter`] over **arbitrary chunk boundaries**
+//!    (including 1-byte chunks and cuts inside multi-byte segments)
+//!    yields exactly the segments of the batch splitter, in the same
+//!    order;
+//! 2. [`CorpusRunner`] equals [`evaluate_many_split`] on the same
+//!    corpus, for every engine, worker count (including the normalized
+//!    `0`), batch size and queue depth.
+
+use crate::corpus::{CorpusRunner, CorpusRunnerConfig};
+use crate::engine::{evaluate_many_split, split_fn_of_splitter, Engine, ExecSpanner, SplitFn};
+use crate::stream::StreamingSplitter;
+use proptest::prelude::*;
+use splitc_spanner::rgx::Rgx;
+use splitc_spanner::splitter::{self, Splitter};
+
+/// Splitters covering the interesting shapes: disjoint delimiters,
+/// overlapping windows, nested candidate spans, empty spans, and a
+/// non-universal post-split language (confirmation only at end of
+/// stream).
+fn splitter_pool() -> Vec<Splitter> {
+    vec![
+        splitter::sentences(),
+        splitter::lines(),
+        splitter::paragraphs(),
+        splitter::ngrams(2),
+        splitter::char_windows(3),
+        Splitter::parse("x{abc}|a(x{b})c").unwrap(),
+        Splitter::parse("x{ab}b|a(x{bb})").unwrap(), // paper Ex. 5.8
+        Splitter::parse("x{aa}|a(x{})a").unwrap(),   // empty spans
+        Splitter::parse("x{a*}b*").unwrap(),         // non-universal suffix
+    ]
+}
+
+const PATTERNS: &[&str] = &[".*x{a+}.*", "x{[ab]+}", ".*x{}.*", ".*x{a.a}.*"];
+
+/// Documents over an alphabet that exercises every pool splitter:
+/// letters, the sentence/line delimiters, spaces (token boundaries).
+fn doc_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(b'a'),
+            Just(b'b'),
+            Just(b'c'),
+            Just(b'.'),
+            Just(b'\n'),
+            Just(b' '),
+        ],
+        0..48,
+    )
+}
+
+/// Chunk sizes the stream is cut into (cycled); 1-byte chunks included.
+fn chunking_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..6, 1..8)
+}
+
+/// Feeds `doc` to a streaming splitter cut at the given chunk sizes.
+fn stream_segments(s: &Splitter, doc: &[u8], sizes: &[usize]) -> Vec<(usize, usize, Vec<u8>)> {
+    let compiled = s.compile();
+    let mut st = StreamingSplitter::new(&compiled);
+    let mut out = Vec::new();
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < doc.len() {
+        let take = sizes[i % sizes.len()].min(doc.len() - pos);
+        i += 1;
+        out.extend(st.push(&doc[pos..pos + take]));
+        pos += take;
+    }
+    out.extend(st.finish());
+    out.into_iter()
+        .map(|seg| (seg.span.start, seg.span.end, seg.bytes))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streaming_splitter_matches_batch_over_random_chunks(
+        si in 0..9usize,
+        doc in doc_strategy(),
+        sizes in chunking_strategy(),
+    ) {
+        let pool = splitter_pool();
+        let s = &pool[si];
+        let batch: Vec<(usize, usize, Vec<u8>)> = s
+            .compile()
+            .split(&doc)
+            .into_iter()
+            .map(|sp| (sp.start, sp.end, sp.slice(&doc).to_vec()))
+            .collect();
+        let streamed = stream_segments(s, &doc, &sizes);
+        prop_assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn corpus_runner_matches_evaluate_many_split(
+        pi in 0..PATTERNS.len(),
+        docs in proptest::collection::vec(doc_strategy(), 0..6),
+        workers in 0usize..5,
+        batch_bytes in 1usize..32,
+        chunk_bytes in 1usize..16,
+        dense in 0usize..2,
+    ) {
+        let engine = if dense == 1 { Engine::Dense } else { Engine::Nfa };
+        let vsa = Rgx::parse(PATTERNS[pi]).unwrap().to_vsa().unwrap();
+        let spanner = ExecSpanner::compile_with(&vsa, engine);
+        let s = splitter::sentences();
+        let runner = CorpusRunner::new(
+            spanner.clone(),
+            s.compile(),
+            CorpusRunnerConfig {
+                workers,
+                batch_bytes,
+                queue_depth: 2,
+                chunk_bytes,
+            },
+        );
+        let refs: Vec<&[u8]> = docs.iter().map(Vec::as_slice).collect();
+        let got = runner.run_slices(&refs);
+        let split: SplitFn = split_fn_of_splitter(&s);
+        let expected = evaluate_many_split(&spanner, &split, &refs, workers);
+        prop_assert_eq!(got.relations, expected);
+        prop_assert_eq!(got.stats.docs, refs.len());
+    }
+}

@@ -1,0 +1,180 @@
+//! Streaming document splitting with bounded byte buffering.
+//!
+//! [`StreamingSplitter`] wraps the incremental splitter simulation of
+//! [`splitc_spanner::stream`] with the byte management a corpus pipeline
+//! needs: it consumes a document **chunk by chunk**, hands out finished
+//! [`Segment`]s (absolute span + owned segment bytes, ready to ship to a
+//! worker), and discards consumed input eagerly. The retained window is
+//! `[low watermark, current position)` — for the built-in disjoint
+//! splitters that is the segment currently being read plus the incoming
+//! chunk, **independent of document length**, which is what lets
+//! [`crate::corpus::CorpusRunner`] process corpora far larger than
+//! memory.
+
+use splitc_spanner::span::Span;
+use splitc_spanner::splitter::CompiledSplitter;
+use splitc_spanner::stream::SplitterState;
+
+/// One split segment of a streamed document: its span in the document's
+/// absolute coordinates plus an owned copy of the segment bytes (the
+/// streaming buffer the span pointed into is reclaimed eagerly, so the
+/// bytes must be detached).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// The split span, in absolute document offsets.
+    pub span: Span,
+    /// The bytes `doc[span.start..span.end]`.
+    pub bytes: Vec<u8>,
+}
+
+/// Incremental splitter over a byte stream.
+///
+/// Feed chunks with [`StreamingSplitter::push`]; each call returns the
+/// segments completed by that chunk, in ascending `(start, end)` order —
+/// exactly the segments `CompiledSplitter::split` would produce on the
+/// materialized document (a property the differential proptest suite
+/// asserts over random chunk boundaries). Close the stream with
+/// [`StreamingSplitter::finish`].
+#[derive(Debug)]
+pub struct StreamingSplitter {
+    state: SplitterState,
+    /// Bytes `[base, state.pos())` of the stream still referenced by
+    /// unresolved candidates or by segments not yet handed out.
+    buf: Vec<u8>,
+    /// Stream offset of `buf[0]`.
+    base: usize,
+    /// Largest buffer size observed (bytes), for memory accounting.
+    peak_buffered: usize,
+}
+
+impl StreamingSplitter {
+    /// Starts streaming one document through `splitter`.
+    pub fn new(splitter: &CompiledSplitter) -> StreamingSplitter {
+        StreamingSplitter {
+            state: splitter.stream(),
+            buf: Vec::new(),
+            base: 0,
+            peak_buffered: 0,
+        }
+    }
+
+    /// Consumes the next chunk and returns the segments it completed.
+    pub fn push(&mut self, chunk: &[u8]) -> Vec<Segment> {
+        self.buf.extend_from_slice(chunk);
+        self.peak_buffered = self.peak_buffered.max(self.buf.len());
+        let spans = self.state.push(chunk);
+        let segments = self.detach(spans);
+        self.trim();
+        segments
+    }
+
+    /// Ends the stream and returns the remaining segments.
+    pub fn finish(self) -> Vec<Segment> {
+        let StreamingSplitter {
+            state, buf, base, ..
+        } = self;
+        state
+            .finish()
+            .into_iter()
+            .map(|span| Segment {
+                span,
+                bytes: buf[span.start - base..span.end - base].to_vec(),
+            })
+            .collect()
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The largest number of bytes ever buffered at once. For splitters
+    /// that confirm segments promptly (all built-ins) this is bounded by
+    /// `max segment length + chunk length`, not by document size.
+    pub fn peak_buffered_bytes(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Bytes consumed from the stream so far.
+    pub fn pos(&self) -> usize {
+        self.state.pos()
+    }
+
+    /// Slices emitted spans out of the buffer into owned segments.
+    fn detach(&self, spans: Vec<Span>) -> Vec<Segment> {
+        spans
+            .into_iter()
+            .map(|span| Segment {
+                span,
+                bytes: self.buf[span.start - self.base..span.end - self.base].to_vec(),
+            })
+            .collect()
+    }
+
+    /// Discards buffered bytes below the splitter's low watermark.
+    fn trim(&mut self) {
+        let low = self.state.low_watermark();
+        if low > self.base {
+            self.buf.drain(..low - self.base);
+            self.base = low;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitc_spanner::splitter;
+
+    #[test]
+    fn streamed_segments_match_batch_split() {
+        let s = splitter::sentences();
+        let compiled = s.compile();
+        let doc = b"one one. two two. three three. tail";
+        for chunk in [1, 3, 7, doc.len()] {
+            let mut st = StreamingSplitter::new(&compiled);
+            let mut got = Vec::new();
+            for piece in doc.chunks(chunk) {
+                got.extend(st.push(piece));
+            }
+            got.extend(st.finish());
+            let expected: Vec<Segment> = compiled
+                .split(doc)
+                .into_iter()
+                .map(|span| Segment {
+                    span,
+                    bytes: span.slice(doc).to_vec(),
+                })
+                .collect();
+            assert_eq!(got, expected, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn buffer_is_bounded_by_segment_plus_chunk() {
+        let s = splitter::sentences().compile();
+        let mut st = StreamingSplitter::new(&s);
+        // 64 segments of ~16 bytes, fed in 8-byte chunks: the buffer
+        // must stay near one segment + one chunk, not grow with the
+        // document.
+        let doc: Vec<u8> = (0..64).flat_map(|_| b"fifteen bytes x.".to_vec()).collect();
+        let mut total = 0;
+        for piece in doc.chunks(8) {
+            total += st.push(piece).len();
+        }
+        assert!(
+            st.peak_buffered_bytes() <= 32,
+            "{}",
+            st.peak_buffered_bytes()
+        );
+        total += st.finish().len();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = splitter::sentences().compile();
+        let st = StreamingSplitter::new(&s);
+        assert!(st.finish().is_empty());
+    }
+}

@@ -35,6 +35,17 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Tuning knobs of the dense engine.
+///
+/// The single knob trades memory for lazy-DFA coverage. The governing
+/// invariant — relied on throughout the workspace and asserted by the
+/// differential test suites — is **fallback-on-overflow**: a scan that
+/// would exceed the bound switches to the exact NFA simulation for that
+/// scan, so any configuration (including an absurdly small one) changes
+/// speed only, never results. Raise the bound for spanners whose
+/// power-set construction is genuinely large but still wanted on the
+/// fast path; lower it to cap worst-case memory per
+/// [`DenseCache`] (each interned state costs `⌈|Q|/64⌉` words plus one
+/// `u32` row per byte class).
 #[derive(Debug, Clone, Copy)]
 pub struct DenseConfig {
     /// Upper bound on interned power-set states per lazy DFA direction.
@@ -57,6 +68,42 @@ impl Default for DenseConfig {
 /// Sentinel for a not-yet-computed lazy-DFA transition.
 const UNEXPLORED: u32 = u32::MAX;
 
+/// Transition-level statistics of one [`DenseCache`], aggregated over
+/// both lazy-DFA directions.
+///
+/// A *hit* is a scan step answered by a memoized `(state, class)` row; a
+/// *miss* computes (and interns) the successor power-set state. Because
+/// the cache persists across documents, the hit rate of a chunked corpus
+/// converges towards 1 — this is the number the streaming corpus runner
+/// reports per worker to show that lazy determinization is amortized.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DenseCacheStats {
+    /// Lazy-DFA steps answered from a memoized transition row.
+    pub hits: u64,
+    /// Lazy-DFA steps that had to compute the successor state.
+    pub misses: u64,
+}
+
+impl DenseCacheStats {
+    /// Hits as a fraction of all steps (0.0 for an unused cache).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Component-wise sum (for aggregating per-worker caches).
+    pub fn merge(self, other: DenseCacheStats) -> DenseCacheStats {
+        DenseCacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
 /// One direction of the lazily-determinized DFA: interned power-set
 /// states (bitsets over the eVSA states) and a dense `state × class`
 /// transition table filled on demand.
@@ -67,9 +114,15 @@ struct LazyDfa {
     ids: HashMap<Box<[u64]>, u32>,
     /// `rows[id * num_classes + class]` → successor id or [`UNEXPLORED`].
     rows: Vec<u32>,
+    /// Steps answered from a memoized row.
+    hits: u64,
+    /// Steps that computed a successor.
+    misses: u64,
 }
 
 impl LazyDfa {
+    /// Drops the interned states and rows; the hit/miss counters survive
+    /// (they describe the scan history, not the current contents).
     fn clear(&mut self) {
         self.sets.clear();
         self.ids.clear();
@@ -87,6 +140,18 @@ pub struct DenseCache {
     bwd: LazyDfa,
     /// Backward-DFA state id per document position (`len = doc.len()+1`).
     ids_buf: Vec<u32>,
+}
+
+impl DenseCache {
+    /// Transition-level hit/miss statistics accumulated by every scan
+    /// that used this cache (both DFA directions combined). Counters
+    /// survive overflow-triggered cache resets.
+    pub fn stats(&self) -> DenseCacheStats {
+        DenseCacheStats {
+            hits: self.fwd.hits + self.bwd.hits,
+            misses: self.fwd.misses + self.bwd.misses,
+        }
+    }
 }
 
 /// An [`EVsa`] compiled for the dense engine.
@@ -271,8 +336,10 @@ impl DenseEvsa {
     fn step(&self, dfa: &mut LazyDfa, id: u32, c: usize, backward: bool) -> Option<u32> {
         let cached = dfa.rows[id as usize * self.nc + c];
         if cached != UNEXPLORED {
+            dfa.hits += 1;
             return Some(cached);
         }
+        dfa.misses += 1;
         let (off, pool) = if backward {
             (&self.pred_off, &self.pred_pool)
         } else {

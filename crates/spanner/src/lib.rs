@@ -37,6 +37,14 @@
 //!   tables and a memory-bounded lazy-DFA cache accelerating acceptance,
 //!   the viability pass, and compiled splitters, with exact fallback to
 //!   the NFA engine.
+//! * [`stream`] — incremental splitter simulation: a forward-only step
+//!   API ([`stream::SplitterState`]) emitting split spans chunk by chunk
+//!   without materializing the document, behind the streaming corpus
+//!   execution of `splitc-exec`.
+//!
+//! A map of how these modules compose into the full pipeline (regex →
+//! VSA → eVSA → dense/stream engines → execution layer) lives in the
+//! repository's top-level `ARCHITECTURE.md`.
 
 pub mod byteset;
 pub mod dense;
@@ -48,16 +56,18 @@ pub mod refword;
 pub mod rgx;
 pub mod span;
 pub mod splitter;
+pub mod stream;
 pub mod tuple;
 pub mod vars;
 pub mod vsa;
 
-pub use dense::{DenseCache, DenseConfig, DenseEvsa};
+pub use dense::{DenseCache, DenseCacheStats, DenseConfig, DenseEvsa};
 pub use equiv::{spanner_contains, spanner_equivalent, SpannerCheck};
 pub use evsa::EVsa;
 pub use rgx::Rgx;
 pub use span::Span;
 pub use splitter::Splitter;
+pub use stream::{SplitterState, StreamTables};
 pub use tuple::{SpanRelation, SpanTuple};
 pub use vars::{VarId, VarOp, VarTable};
 pub use vsa::Vsa;

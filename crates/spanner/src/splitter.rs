@@ -22,11 +22,12 @@ use crate::eval::eval;
 use crate::evsa::EVsa;
 use crate::rgx::{Ast, Rgx};
 use crate::span::Span;
+use crate::stream::{SplitterState, StreamTables};
 use crate::vars::{VarId, VarOp};
 use crate::vsa::{Label, Vsa};
 use splitc_automata::nfa::StateId;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A document splitter: a unary spanner.
 #[derive(Debug, Clone)]
@@ -90,6 +91,7 @@ impl Splitter {
         let evsa = Arc::new(EVsa::from_functional(&f));
         CompiledSplitter {
             dense: Arc::new(DenseEvsa::compile(evsa, config)),
+            stream: OnceLock::new(),
         }
     }
 
@@ -258,10 +260,14 @@ pub fn two_run_report(e1: &EVsa, e2: &EVsa) -> TwoRunReport {
 }
 
 /// A splitter compiled to block normal form, with the dense engine's
-/// byte-class tables and lazy-DFA cache as the splitting fast path.
+/// byte-class tables and lazy-DFA cache as the splitting fast path, plus
+/// [`StreamTables`] for incremental (chunk-by-chunk) splitting, built
+/// lazily on the first [`CompiledSplitter::stream`] call so batch-only
+/// callers never pay the phase-DFA determinization.
 #[derive(Debug, Clone)]
 pub struct CompiledSplitter {
     dense: Arc<DenseEvsa>,
+    stream: OnceLock<Arc<StreamTables>>,
 }
 
 impl CompiledSplitter {
@@ -283,6 +289,21 @@ impl CompiledSplitter {
             .iter()
             .map(|t| t.get(VarId(0)))
             .collect()
+    }
+
+    /// Starts an incremental split of one document stream: feed bytes
+    /// chunk by chunk with [`SplitterState::push`] and close the stream
+    /// with [`SplitterState::finish`]. Emitted spans are exactly those
+    /// of [`CompiledSplitter::split`], in the same ascending order,
+    /// without the document ever being materialized (see
+    /// [`crate::stream`] for the buffering contract). The tables are
+    /// compiled on first use and shared afterwards; each call returns
+    /// independent per-stream state.
+    pub fn stream(&self) -> SplitterState {
+        let tables = self
+            .stream
+            .get_or_init(|| Arc::new(StreamTables::compile(self.dense.evsa())));
+        SplitterState::new(Arc::clone(tables))
     }
 }
 

@@ -94,6 +94,69 @@ pub fn wiki_corpus(cfg: &CorpusConfig) -> Vec<u8> {
     out.into_bytes()
 }
 
+/// Streaming counterpart of [`wiki_corpus`]: yields the same document
+/// **paragraph by paragraph** (one chunk per paragraph, separators
+/// included), so corpora far larger than memory can be generated and
+/// fed straight into the streaming execution layer. The concatenation
+/// of all chunks is byte-identical to `wiki_corpus(cfg)`.
+pub fn wiki_corpus_chunks(cfg: &CorpusConfig) -> WikiChunks {
+    WikiChunks {
+        rng: StdRng::seed_from_u64(cfg.seed),
+        cfg: cfg.clone(),
+        emitted: 0,
+    }
+}
+
+/// A corpus of `n` independent Wikipedia-like documents, each delivered
+/// as a paragraph-chunk stream (document `i` uses seed `cfg.seed + i`).
+/// This is the generator behind the `e5_corpus_stream` benchmark's
+/// sharded streaming input.
+pub fn wiki_corpus_shards(n: usize, cfg: &CorpusConfig) -> Vec<WikiChunks> {
+    (0..n)
+        .map(|i| {
+            wiki_corpus_chunks(&CorpusConfig {
+                seed: cfg.seed.wrapping_add(i as u64),
+                ..cfg.clone()
+            })
+        })
+        .collect()
+}
+
+/// Iterator state of [`wiki_corpus_chunks`].
+#[derive(Debug)]
+pub struct WikiChunks {
+    rng: StdRng,
+    cfg: CorpusConfig,
+    emitted: usize,
+}
+
+impl Iterator for WikiChunks {
+    type Item = Vec<u8>;
+
+    fn next(&mut self) -> Option<Vec<u8>> {
+        if self.emitted >= self.cfg.target_bytes {
+            return None;
+        }
+        // Mirrors one iteration of the `wiki_corpus` loop exactly (same
+        // RNG consumption order), so the streamed bytes are identical.
+        let mut para = String::new();
+        for i in 0..self.cfg.paragraph_sentences {
+            if i > 0 {
+                para.push(' ');
+            }
+            para.push_str(&sentence(&mut self.rng, &self.cfg));
+            para.push('.');
+        }
+        let mut chunk = String::new();
+        if self.emitted > 0 {
+            chunk.push_str("\n\n");
+        }
+        chunk.push_str(&para);
+        self.emitted += chunk.len();
+        Some(chunk.into_bytes())
+    }
+}
+
 /// A PubMed-like document: longer, number-heavy sentences, flat
 /// structure (one big "abstract stream").
 pub fn pubmed_corpus(target_bytes: usize, seed: u64) -> Vec<u8> {
@@ -294,6 +357,23 @@ mod tests {
         assert!(paragraphs.len() >= 2);
         // ASCII only — bytes are chars.
         assert!(doc.iter().all(|b| b.is_ascii()));
+    }
+
+    #[test]
+    fn chunk_stream_reproduces_wiki_corpus() {
+        let cfg = CorpusConfig {
+            target_bytes: 20_000,
+            ..Default::default()
+        };
+        let chunks: Vec<Vec<u8>> = wiki_corpus_chunks(&cfg).collect();
+        assert!(chunks.len() > 2, "multiple paragraph chunks");
+        let streamed: Vec<u8> = chunks.concat();
+        assert_eq!(streamed, wiki_corpus(&cfg));
+        // Shards are independent documents with distinct seeds.
+        let shards = wiki_corpus_shards(3, &cfg);
+        let docs: Vec<Vec<u8>> = shards.into_iter().map(|s| s.flatten().collect()).collect();
+        assert_eq!(docs[0], wiki_corpus(&cfg));
+        assert_ne!(docs[0], docs[1]);
     }
 
     #[test]

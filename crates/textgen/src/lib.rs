@@ -22,5 +22,5 @@ pub mod spanners;
 
 pub use corpus::{
     articles_corpus, http_log, pubmed_corpus, reviews_corpus, skewed_articles_corpus, wiki_corpus,
-    CorpusConfig,
+    wiki_corpus_chunks, wiki_corpus_shards, CorpusConfig, WikiChunks,
 };

@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
 """Sanity-checks a BENCH JSON-lines file produced by bench_smoke.sh.
 
-Verifies the stable row schema and that the dense engine beats the NFA
-engine by the required factor on at least one e-series benchmark.
+Verifies the stable row schema, that the dense engine beats the NFA
+engine by the required factor on at least one e-series benchmark, and —
+when e5 rows are present — that streaming corpus execution
+(`e5_corpus_stream/stream`) is not slower than the materialize-then-
+split baseline (`e5_corpus_stream/batch`) beyond the allowed ratio.
 
-Usage: scripts/bench_check.py BENCH_pr.json [min-speedup]
+Usage: scripts/bench_check.py BENCH_pr.json [min-speedup] [min-stream-ratio]
 """
 import json
 import sys
@@ -15,6 +18,7 @@ REQUIRED = {"bench": str, "engine": str, "bytes": int, "wall_ms": (int, float), 
 def main() -> int:
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr.json"
     min_speedup = float(sys.argv[2]) if len(sys.argv) > 2 else 1.5
+    min_stream_ratio = float(sys.argv[3]) if len(sys.argv) > 3 else 0.0
     rows = []
     with open(path) as f:
         for line in f:
@@ -51,6 +55,21 @@ def main() -> int:
         print(f"best dense speedup {best:.2f}x on {best_bench} "
               f"is below the required {min_speedup:.2f}x")
         return 1
+
+    # Streaming-vs-batch corpus execution (per engine, when present).
+    stream = {r["engine"]: r["wall_ms"] for r in rows
+              if r["bench"] == "e5_corpus_stream/stream"}
+    batch = {r["engine"]: r["wall_ms"] for r in rows
+             if r["bench"] == "e5_corpus_stream/batch"}
+    for engine in sorted(set(stream) & set(batch)):
+        ratio = batch[engine] / max(stream[engine], 1e-9)
+        print(f"e5_corpus_stream ({engine}): batch {batch[engine]:.2f} ms, "
+              f"stream {stream[engine]:.2f} ms -> {ratio:.2f}x")
+        if ratio < min_stream_ratio:
+            print(f"streaming ratio {ratio:.2f}x ({engine}) is below the "
+                  f"required {min_stream_ratio:.2f}x")
+            return 1
+
     print(f"OK: {len(rows)} rows; best dense speedup {best:.2f}x on {best_bench}")
     return 0
 

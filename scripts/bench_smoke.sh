@@ -35,6 +35,8 @@ run e2_pubmed_speedup nfa
 run e2_pubmed_speedup dense
 run e4_reviews_speedup nfa
 run e4_reviews_speedup dense
+run e5_corpus_stream nfa
+run e5_corpus_stream dense
 run t2_splitcorrect_scaling dense
 
 echo "wrote $(wc -l <"$out") rows to $out" >&2

@@ -37,8 +37,13 @@
 //! | [`automata`] | NFA/DFA substrate, containment, unambiguous automata |
 //! | [`spanner`] | spans, ref-words, regex formulas, VSet-automata, splitters |
 //! | [`core`] | the paper's decision procedures (split-correctness, splittability, …) |
-//! | [`exec`] | parallel + incremental execution engine |
+//! | [`exec`] | parallel + incremental + streaming corpus execution engine |
 //! | [`textgen`] | synthetic corpora and workload extractors |
+//!
+//! How the crates compose — the regex → VSA/eVSA → engine → execution
+//! dataflow, the certification pipeline, engine-selection semantics,
+//! and the benchmark row schema — is documented in the repository's
+//! top-level `ARCHITECTURE.md`.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
@@ -57,8 +62,9 @@ pub mod prelude {
         splittable, SplittabilityVerdict, Verdict,
     };
     pub use splitc_exec::{
-        evaluate_many, evaluate_many_split, evaluate_sequential, evaluate_split, Engine,
-        ExecSpanner, IncrementalRunner, SplitFn,
+        evaluate_many, evaluate_many_split, evaluate_sequential, evaluate_split, CorpusResult,
+        CorpusRunner, CorpusRunnerConfig, CorpusStats, Engine, ExecSpanner, IncrementalRunner,
+        Segment, SplitFn, StreamingSplitter,
     };
     pub use splitc_spanner::splitter as splitters;
     pub use splitc_spanner::splitter::native as native_splitters;

@@ -142,6 +142,55 @@ fn http_log_debugging_main_path() {
     assert_eq!(seq.len(), 200, "one request line per message");
 }
 
+/// `examples/corpus_stream.rs`: certified streaming corpus execution —
+/// the streamed relations equal batch evaluation, and the streaming
+/// buffer stays at segment + chunk scale.
+#[test]
+fn corpus_stream_main_path() {
+    let p = Rgx::parse("(.*[^A-Za-z0-9]|)x{[A-Za-z0-9]+}([^A-Za-z0-9].*|)")
+        .unwrap()
+        .to_vsa()
+        .unwrap();
+    let s = splitters::sentences();
+    assert!(self_splittable(&p, &s).unwrap().holds());
+
+    let cfg = CorpusConfig {
+        target_bytes: 8 << 10,
+        ..Default::default()
+    };
+    let shards = 4;
+    let runner = CorpusRunner::new(
+        ExecSpanner::compile(&p),
+        s.compile(),
+        CorpusRunnerConfig {
+            workers: 4,
+            ..Default::default()
+        },
+    );
+    let result = runner.run_streams(textgen::wiki_corpus_shards(shards, &cfg));
+    assert_eq!(result.stats.docs, shards);
+    assert!(result.stats.segments > 0);
+    assert!(result.stats.cache.hit_rate() > 0.5, "lazy DFA amortized");
+    assert!(
+        result.stats.peak_buffered_bytes < 4 << 10,
+        "buffer bounded by segment + chunk, got {}",
+        result.stats.peak_buffered_bytes
+    );
+
+    let owned: Vec<Vec<u8>> = textgen::wiki_corpus_shards(shards, &cfg)
+        .into_iter()
+        .map(|sh| sh.flatten().collect())
+        .collect();
+    let refs: Vec<&[u8]> = owned.iter().map(Vec::as_slice).collect();
+    let spanner = ExecSpanner::compile(&p);
+    let split: SplitFn = Arc::new(native_splitters::sentences);
+    assert_eq!(
+        result.relations,
+        evaluate_many_split(&spanner, &split, &refs, 4),
+        "streaming equals batch semantics"
+    );
+}
+
 /// `examples/query_planning.rs`: §6 reasoning and §7.1 black-box
 /// inference.
 #[test]
