@@ -15,6 +15,11 @@
 //! * [`Dfa`] — deterministic automata produced by subset construction.
 //! * [`ops`] — language operations: emptiness, membership, containment
 //!   (lazy subset construction), equivalence, union, intersection.
+//! * [`antichain`] — the on-the-fly containment engine behind
+//!   [`ops::contains`]: lazy subset search with antichain pruning of
+//!   subsumed macro-states and symbol-class alphabet collapse, plus the
+//!   determinize-first reference it is differentially tested and
+//!   benchmarked against.
 //! * [`unambiguous`] — unambiguity testing and polynomial-time containment
 //!   for unambiguous automata via accepting-path counting.
 //! * [`classes`] — byte-class alphabet compression ([`ByteClasses`]): the
@@ -25,6 +30,7 @@
 //! Symbols are dense `u32` identifiers ([`Sym`]); callers intern whatever
 //! alphabet they need (bytes, extended spanner alphabets, pair alphabets).
 
+pub mod antichain;
 pub mod classes;
 pub mod counting;
 pub mod dfa;
@@ -32,6 +38,7 @@ pub mod nfa;
 pub mod ops;
 pub mod unambiguous;
 
+pub use antichain::AntichainStats;
 pub use classes::{ByteClassBuilder, ByteClasses};
 pub use dfa::Dfa;
 pub use nfa::{Nfa, StateId, Sym};

@@ -7,11 +7,15 @@
 //! deterministic the subsets stay singletons and the procedure runs in
 //! time `O(|A|·|B|)` — this degeneration is exactly the paper's NL
 //! containment algorithm for deterministic functional VSet-automata
-//! (Theorem 4.3). For nondeterministic `B` it is the standard PSPACE
-//! procedure (Theorem 4.1).
+//! (Theorem 4.3). For nondeterministic `B` it realizes the PSPACE
+//! procedure (Theorem 4.1), strengthened by **antichain pruning** and
+//! **symbol-class alphabet collapse** — see [`crate::antichain`], the
+//! engine behind [`contains`] since the certification-engine rework
+//! (subset-subsumed macro-states are never expanded, so hard instances
+//! stay far below the determinized state count).
 
-use crate::nfa::{Nfa, StateId, Sym};
-use std::collections::{HashMap, VecDeque};
+use crate::antichain;
+use crate::nfa::{Nfa, Sym};
 
 /// Outcome of a containment check: either contained, or a counterexample
 /// word accepted by the left automaton and rejected by the right one.
@@ -32,97 +36,13 @@ impl Containment {
 
 /// Decides `L(a) ⊆ L(b)` and produces a shortest-by-construction
 /// counterexample on failure (BFS order).
+///
+/// Since the certification-engine rework this delegates to the
+/// antichain-pruned search of [`crate::antichain::contains`]; the
+/// contract (verdict, shortest witness) is unchanged, only hard
+/// nondeterministic instances got cheaper.
 pub fn contains(a: &Nfa, b: &Nfa) -> Containment {
-    debug_assert_eq!(a.alphabet_size(), b.alphabet_size());
-    let a = a.remove_eps();
-    let b = b.remove_eps();
-
-    let mut a_starts: Vec<StateId> = a.starts().to_vec();
-    a_starts.sort_unstable();
-    a_starts.dedup();
-    let mut b_start: Vec<StateId> = b.starts().to_vec();
-    b_start.sort_unstable();
-    b_start.dedup();
-
-    // Intern B-subsets.
-    let mut subset_ids: HashMap<Vec<StateId>, u32> = HashMap::new();
-    let mut subsets: Vec<Vec<StateId>> = Vec::new();
-    let mut subset_final: Vec<bool> = Vec::new();
-    let mut intern =
-        |set: Vec<StateId>, subsets: &mut Vec<Vec<StateId>>, subset_final: &mut Vec<bool>| -> u32 {
-            if let Some(&id) = subset_ids.get(&set) {
-                return id;
-            }
-            let id = subsets.len() as u32;
-            subset_final.push(set.iter().any(|&q| b.is_final(q)));
-            subset_ids.insert(set.clone(), id);
-            subsets.push(set);
-            id
-        };
-
-    let b0 = intern(b_start, &mut subsets, &mut subset_final);
-
-    // BFS over (A-state, B-subset) pairs, remembering parents for
-    // counterexample reconstruction.
-    type ParentEntry = (Option<(usize, Sym)>, StateId, u32);
-    let mut seen: HashMap<(StateId, u32), usize> = HashMap::new();
-    let mut parents: Vec<ParentEntry> = Vec::new();
-    let mut queue: VecDeque<usize> = VecDeque::new();
-
-    for &qa in &a_starts {
-        let key = (qa, b0);
-        if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(key) {
-            let node = parents.len();
-            parents.push((None, qa, b0));
-            e.insert(node);
-            queue.push_back(node);
-        }
-    }
-
-    let reconstruct = |parents: &Vec<ParentEntry>, mut node: usize| {
-        let mut word: Vec<Sym> = Vec::new();
-        while let (Some((p, s)), _, _) = parents[node] {
-            word.push(s);
-            node = p;
-        }
-        word.reverse();
-        word
-    };
-
-    while let Some(node) = queue.pop_front() {
-        let (_, qa, tb) = parents[node];
-        if a.is_final(qa) && !subset_final[tb as usize] {
-            return Containment::Counterexample(reconstruct(&parents, node));
-        }
-        // Successor B-subsets per symbol actually used by A from qa.
-        let mut by_sym: HashMap<Sym, Vec<StateId>> = HashMap::new();
-        for &(s, ra) in a.transitions_from(qa) {
-            by_sym.entry(s).or_default().push(ra);
-        }
-        for (s, ra_list) in by_sym {
-            let mut succ_b: Vec<StateId> = Vec::new();
-            for &qb in &subsets[tb as usize] {
-                for &(s2, rb) in b.transitions_from(qb) {
-                    if s2 == s {
-                        succ_b.push(rb);
-                    }
-                }
-            }
-            succ_b.sort_unstable();
-            succ_b.dedup();
-            let tb2 = intern(succ_b, &mut subsets, &mut subset_final);
-            for &ra in &ra_list {
-                let key = (ra, tb2);
-                if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(key) {
-                    let nnode = parents.len();
-                    parents.push((Some((node, s)), ra, tb2));
-                    e.insert(nnode);
-                    queue.push_back(nnode);
-                }
-            }
-        }
-    }
-    Containment::Contained
+    antichain::contains(a, b)
 }
 
 /// Decides language equivalence; on failure reports which side has the

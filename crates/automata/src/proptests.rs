@@ -1,5 +1,6 @@
 //! Property-based tests for the automata substrate.
 
+use crate::antichain;
 use crate::dfa::Dfa;
 use crate::nfa::{Nfa, Sym};
 use crate::ops::{contains, equivalent, Containment};
@@ -79,6 +80,28 @@ proptest! {
                 prop_assert!(a.accepts(w));
                 prop_assert!(!b.accepts(w));
             }
+        }
+    }
+
+    #[test]
+    fn antichain_agrees_with_determinize_first(
+        ra in rand_nfa(6, 3),
+        rb in rand_nfa(6, 3),
+    ) {
+        let a = ra.build();
+        let b = rb.build();
+        let lazy = antichain::contains(&a, &b);
+        let refr = antichain::contains_determinize_first(&a, &b);
+        prop_assert_eq!(lazy.holds(), refr.holds());
+        // Both searches are breadth-first, so witnesses have equal
+        // (minimal) length, and each must be a genuine counterexample.
+        if let (
+            Containment::Counterexample(w1),
+            Containment::Counterexample(w2),
+        ) = (&lazy, &refr) {
+            prop_assert_eq!(w1.len(), w2.len());
+            prop_assert!(a.accepts(w1) && !b.accepts(w1));
+            prop_assert!(a.accepts(w2) && !b.accepts(w2));
         }
     }
 

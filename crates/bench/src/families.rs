@@ -59,6 +59,25 @@ pub fn chain_extractor(k: usize) -> Vsa {
         .expect("functional")
 }
 
+/// The "needle" extractor `.* a [ab]^k x{b+} .*`: captures a `b`-run
+/// that sits exactly `k` letters after an `a`. The `Σ*aΣ^k` guard lives
+/// in the *byte* segment before the variable, so (unlike window-length
+/// gadgets, which ref-word operation symbols make deterministic again)
+/// every determinization of the guard — in the extractor or in its
+/// splitter composition — must remember the `a`-pattern of a sliding
+/// `k`-window: `2^k` subsets. The antichain frontier of the lazy
+/// containment search stays polynomial in `k` instead, because sparse
+/// frontier subsets prune their rich same-depth siblings — the classic
+/// antichain showcase family. Self-splittable by sentence-style
+/// splitters: `a[ab]^k b+` never contains a delimiter.
+pub fn needle_extractor(k: usize) -> Vsa {
+    let guard = "[ab]".repeat(k);
+    Rgx::parse(&format!(".*a{guard}(x{{b+}}).*"))
+        .expect("family pattern")
+        .to_vsa()
+        .expect("functional")
+}
+
 /// A union extractor with `n` branches (one per marker letter),
 /// increasing nondeterminism for the general-procedure scaling runs.
 pub fn branching_extractor(n: usize) -> Vsa {

@@ -19,6 +19,7 @@
 //! split-spanners (Theorem E.7).
 
 use crate::cover::{self, cover_condition_df};
+use crate::error::CertError;
 use crate::split_correctness::{
     guarded_product_check, split_correct, CounterExample, FastPathError, Verdict,
 };
@@ -172,7 +173,7 @@ pub fn annotated_split_correct(
     p: &Vsa,
     mapping: &KeySpannerMapping,
     sk: &AnnotatedSplitter,
-) -> Result<Verdict, String> {
+) -> Result<Verdict, CertError> {
     let composed = annotated_compose(mapping, sk)?;
     Ok(match splitc_spanner::spanner_equivalent(p, &composed)? {
         splitc_spanner::SpannerCheck::Holds => Verdict::Holds,
@@ -200,7 +201,7 @@ pub fn annotated_split_correct_df(
     p: &Vsa,
     mapping: &KeySpannerMapping,
     sk: &AnnotatedSplitter,
-) -> Result<Verdict, FastPathError> {
+) -> Result<Verdict, CertError> {
     cover::validate_df(p, "P")?;
     for key in sk.keys() {
         let ps = mapping
@@ -210,9 +211,7 @@ pub fn annotated_split_correct_df(
         cover::validate_df(sk.splitter_of(key).expect("key").vsa(), "S_κ")?;
     }
     if !sk.is_highlander() {
-        return Err(FastPathError::new(
-            "annotated splitter is not a highlander splitter",
-        ));
+        return Err(FastPathError::new("annotated splitter is not a highlander splitter").into());
     }
     // Cover condition w.r.t. the (disjoint) union splitter. The union
     // of deterministic splitters is not syntactically deterministic;
@@ -240,9 +239,11 @@ pub fn annotated_split_correct_df(
 pub fn annotated_splittable(
     p: &Vsa,
     sk: &AnnotatedSplitter,
-) -> Result<AnnotatedSplittability, String> {
+) -> Result<AnnotatedSplittability, CertError> {
     if !sk.is_highlander() {
-        return Err("annotated splittability requires a highlander splitter".into());
+        return Err(CertError::UnsupportedSplitter(
+            "annotated splittability requires a highlander splitter".into(),
+        ));
     }
     let mut parts = Vec::new();
     for key in sk.keys() {
@@ -278,7 +279,7 @@ impl AnnotatedSplittability {
 /// Convenience check that a plain split-correctness instance embeds into
 /// the annotated framework with a single key (sanity bridge used by
 /// tests).
-pub fn single_key(p: &Vsa, ps: &Vsa, s: &Splitter) -> Result<Verdict, String> {
+pub fn single_key(p: &Vsa, ps: &Vsa, s: &Splitter) -> Result<Verdict, CertError> {
     let sk = AnnotatedSplitter::new([("only".to_string(), s.clone())])?;
     let mapping = KeySpannerMapping::new([("only".to_string(), ps.clone())])?;
     let annotated = annotated_split_correct(p, &mapping, &sk)?;

@@ -14,6 +14,7 @@
 //! with the witness `α_S ⋈ P₁ ⋈ ⋯ ⋈ P_k`. Lemma 7.3 shows the
 //! disjointness hypothesis cannot be dropped (reproduced in the tests).
 
+use crate::error::CertError;
 use crate::splittability::{splittable, SplittabilityVerdict};
 use splitc_spanner::evsa::EVsa;
 use splitc_spanner::splitter::Splitter;
@@ -129,11 +130,11 @@ impl Instance {
 
     /// Checks `I ⊨ C`: every constrained symbol's spanner is
     /// self-splittable by the constraint's splitter.
-    pub fn satisfies(&self, constraints: &[SplitConstraint]) -> Result<bool, String> {
+    pub fn satisfies(&self, constraints: &[SplitConstraint]) -> Result<bool, CertError> {
         for c in constraints {
             let p = self
                 .get(&c.symbol)
-                .ok_or_else(|| format!("symbol {} is unbound", c.symbol))?;
+                .ok_or_else(|| CertError::Invalid(format!("symbol {} is unbound", c.symbol)))?;
             if !crate::self_splittable(p, &c.splitter)?.holds() {
                 return Ok(false);
             }
@@ -192,7 +193,7 @@ pub fn infer_join_splittable(
     signature: &Signature,
     constraints: &[SplitConstraint],
     s: &Splitter,
-) -> Result<BlackBoxVerdict, String> {
+) -> Result<BlackBoxVerdict, CertError> {
     if !s.is_disjoint() {
         return Ok(BlackBoxVerdict::NotApplicable {
             reason: "splitter is not disjoint (Lemma 7.3 shows the hypothesis is \
@@ -227,7 +228,7 @@ pub fn infer_join_splittable(
 }
 
 /// Semantic equality of two splitters.
-fn splitter_equiv(a: &Splitter, b: &Splitter) -> Result<bool, String> {
+fn splitter_equiv(a: &Splitter, b: &Splitter) -> Result<bool, CertError> {
     let table = VarTable::new(["x"]).expect("single");
     let av = a.vsa().replace_var_table(table.clone())?;
     let bv = b.vsa().replace_var_table(table)?;

@@ -14,6 +14,7 @@
 //!   containment of *unambiguous* automata `A_P ⊆ A_S` over a bit-marked
 //!   alphabet, decided by accepting-path counting (Stearns–Hunt).
 
+use crate::error::CertError;
 use crate::split_correctness::{CounterExample, FastPathError, Verdict};
 use splitc_automata::nfa::{Nfa, StateId, Sym};
 use splitc_automata::ops::{self, Containment};
@@ -68,13 +69,20 @@ pub fn cover_condition(p: &Vsa, s: &Splitter) -> Verdict {
 /// ambiguous (possible only in boundary corner cases involving empty
 /// spans at split borders), falls back to classical containment for
 /// exactness.
-pub fn cover_condition_df(p: &Vsa, s: &Splitter) -> Result<Verdict, FastPathError> {
+pub fn cover_condition_df(p: &Vsa, s: &Splitter) -> Result<Verdict, CertError> {
     validate_df(p, "P")?;
     validate_df(s.vsa(), "S")?;
     if !s.is_disjoint() {
-        return Err(FastPathError::new("splitter is not disjoint"));
+        return Err(FastPathError::new("splitter is not disjoint").into());
     }
+    Ok(cover_condition_df_prechecked(p, s))
+}
 
+/// [`cover_condition_df`] minus the precondition validation — for
+/// callers that have already established determinism, functionality,
+/// and disjointness (the split-correctness fast path validates the
+/// whole triple once; the batch certifier validates per batch).
+pub(crate) fn cover_condition_df_prechecked(p: &Vsa, s: &Splitter) -> Verdict {
     let p = p.trim();
     let s_vsa = s.vsa().trim();
     let mut masks = p.byte_masks();
@@ -84,7 +92,7 @@ pub fn cover_condition_df(p: &Vsa, s: &Splitter) -> Result<Verdict, FastPathErro
     if p.vars().is_empty() {
         // Boolean spanner: the empty tuple is covered by any split, so
         // the condition is "wherever P outputs, S outputs": L_P ⊆ L_{S≠∅}.
-        return Ok(boolean_cover(&p, &s_vsa, &ext));
+        return boolean_cover(&p, &s_vsa, &ext);
     }
 
     let ap = build_ap(&p, &ext);
@@ -99,14 +107,14 @@ pub fn cover_condition_df(p: &Vsa, s: &Splitter) -> Result<Verdict, FastPathErro
 
     if unambiguous::is_unambiguous(&ap) && unambiguous::is_unambiguous(&as_) {
         if unambiguous::ufa_contains_unchecked(&ap, &as_) {
-            Ok(Verdict::Holds)
+            Verdict::Holds
         } else {
             // Produce a witness via the classical procedure (only on
             // failure; the common case stays polynomial).
-            Ok(exact(&ap, &as_))
+            exact(&ap, &as_)
         }
     } else {
-        Ok(exact(&ap, &as_))
+        exact(&ap, &as_)
     }
 }
 

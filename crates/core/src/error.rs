@@ -1,0 +1,124 @@
+//! The unified certification error surface.
+//!
+//! Historically the general procedures reported interface errors as
+//! `Result<_, String>` while the polynomial fast paths used
+//! [`FastPathError`]; batch certifiers had to juggle both. [`CertError`]
+//! is the single error type every certification entry point of this
+//! crate returns. `From` impls keep both old surfaces convertible, so
+//! callers that matched on `String` or `FastPathError` migrate with a
+//! `.into()` / `?` at most.
+
+use crate::split_correctness::FastPathError;
+use std::fmt;
+
+/// Error of a certification procedure (split-correctness,
+/// splittability, cover condition, splitter reasoning, black-box
+/// inference, annotated variants).
+///
+/// Errors are *interface* conditions — the inputs do not fit the
+/// procedure. A property that simply fails to hold is **not** an error;
+/// it is a [`crate::Verdict::Fails`] with a witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CertError {
+    /// The compared spanners do not range over the same variables.
+    VariableMismatch {
+        /// Display form of the left spanner's variable table.
+        left: String,
+        /// Display form of the right spanner's variable table.
+        right: String,
+    },
+    /// A fast-path precondition (determinism, functionality, splitter
+    /// disjointness) does not hold; the general procedure still applies.
+    FastPath(FastPathError),
+    /// The procedure does not support the given splitter at all (e.g.
+    /// splittability via the canonical split-spanner needs a disjoint
+    /// splitter; decidability beyond that is open).
+    UnsupportedSplitter(String),
+    /// Malformed input propagated from the spanner layer (bad context
+    /// language, arity violations, …).
+    Invalid(String),
+}
+
+impl CertError {
+    /// Whether this error only says a *fast path* is unavailable. For
+    /// callers of [`crate::split_correct_df`] and friends this is the
+    /// cue that the inputs are fine for the general procedures
+    /// ([`crate::split_correct`]) — only the polynomial route declined.
+    pub fn is_fast_path_unavailable(&self) -> bool {
+        matches!(self, CertError::FastPath(_))
+    }
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::VariableMismatch { left, right } => {
+                write!(f, "spanners must share variables: {left} vs {right}")
+            }
+            CertError::FastPath(e) => write!(f, "{e}"),
+            CertError::UnsupportedSplitter(msg) => write!(f, "unsupported splitter: {msg}"),
+            CertError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CertError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CertError::FastPath(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FastPathError> for CertError {
+    fn from(e: FastPathError) -> CertError {
+        CertError::FastPath(e)
+    }
+}
+
+impl From<String> for CertError {
+    fn from(msg: String) -> CertError {
+        CertError::Invalid(msg)
+    }
+}
+
+impl From<&str> for CertError {
+    fn from(msg: &str) -> CertError {
+        CertError::Invalid(msg.to_string())
+    }
+}
+
+/// Callers that still propagate `String` keep working through this impl.
+impl From<CertError> for String {
+    fn from(e: CertError) -> String {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let fp = FastPathError::new("P is not deterministic");
+        let cert: CertError = fp.clone().into();
+        assert!(cert.is_fast_path_unavailable());
+        assert_eq!(cert.to_string(), fp.to_string());
+        let s: String = cert.into();
+        assert!(s.contains("not deterministic"));
+        let from_string: CertError = String::from("bad context").into();
+        assert!(!from_string.is_fast_path_unavailable());
+        assert_eq!(from_string.to_string(), "bad context");
+    }
+
+    #[test]
+    fn implements_std_error_with_source() {
+        let e: Box<dyn std::error::Error> = Box::new(CertError::from(FastPathError::new("nope")));
+        assert!(e.source().is_some());
+        let plain: Box<dyn std::error::Error> = Box::new(CertError::Invalid("x".into()));
+        assert!(plain.source().is_none());
+    }
+}

@@ -10,6 +10,7 @@
 //! `S[L_P]` (Theorems 7.6 and 7.7), which is itself an ordinary
 //! splitter (`S ⋈ π_∅ P`).
 
+use crate::error::CertError;
 use crate::split_correctness::{split_correct, Verdict};
 use crate::splittability::{splittable, SplittabilityVerdict};
 use crate::util;
@@ -113,7 +114,11 @@ pub fn lp_language(p: &Vsa) -> Vsa {
 /// regular language `L` such that `P = P_S ∘ S[L]`? By Lemma 7.5 it
 /// suffices to test `L = L_P`. The verdict carries the minimal filter
 /// when the property holds.
-pub fn split_correct_with_filter(p: &Vsa, ps: &Vsa, s: &Splitter) -> Result<FilterVerdict, String> {
+pub fn split_correct_with_filter(
+    p: &Vsa,
+    ps: &Vsa,
+    s: &Splitter,
+) -> Result<FilterVerdict, CertError> {
     let lp = lp_language(p);
     let filtered = FilteredSplitter::new(s.clone(), lp.clone())?;
     Ok(match split_correct(p, ps, &filtered.to_splitter())? {
@@ -123,13 +128,13 @@ pub fn split_correct_with_filter(p: &Vsa, ps: &Vsa, s: &Splitter) -> Result<Filt
 }
 
 /// Self-splittability with regular filter (Theorem 7.6).
-pub fn self_splittable_with_filter(p: &Vsa, s: &Splitter) -> Result<FilterVerdict, String> {
+pub fn self_splittable_with_filter(p: &Vsa, s: &Splitter) -> Result<FilterVerdict, CertError> {
     split_correct_with_filter(p, p, s)
 }
 
 /// Splittability with regular filter for disjoint splitters
 /// (Theorem 7.7).
-pub fn splittable_with_filter(p: &Vsa, s: &Splitter) -> Result<SplittabilityVerdict, String> {
+pub fn splittable_with_filter(p: &Vsa, s: &Splitter) -> Result<SplittabilityVerdict, CertError> {
     let lp = lp_language(p);
     let filtered = FilteredSplitter::new(s.clone(), lp)?;
     let fs = filtered.to_splitter();

@@ -25,6 +25,7 @@
 pub mod annotated;
 pub mod blackbox;
 pub mod cover;
+pub mod error;
 pub mod filters;
 pub mod reasoning;
 pub mod split_correctness;
@@ -32,8 +33,16 @@ pub mod splittability;
 pub(crate) mod util;
 
 pub use cover::{cover_condition, cover_condition_df};
+pub use error::CertError;
 pub use split_correctness::{
-    self_splittable, self_splittable_df, split_correct, split_correct_df, CounterExample,
-    FastPathError, Verdict,
+    self_splittable, self_splittable_df, split_correct, split_correct_composed, split_correct_df,
+    split_correct_df_prechecked, split_correct_with, CounterExample, FastPathError, Verdict,
 };
 pub use splittability::{canonical_split_spanner, splittable, SplittabilityVerdict};
+
+// Re-exported so certification callers can pick a containment engine
+// without depending on `splitc-spanner` directly.
+pub use splitc_spanner::equiv::CheckStrategy;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,140 @@
+//! Property-based differential tests for the certification engine.
+//!
+//! The antichain-pruned containment engine must be *indistinguishable*
+//! (up to cost) from the determinize-first reference on every
+//! certification verdict: same holds/fails answer, witnesses of the
+//! same minimal length, and every witness a genuine counterexample when
+//! replayed through evaluation. Random `Rgx` spanner/splitter pairs are
+//! drawn from the same seeded pools the spanner crate uses, plus the
+//! guarded-product fast-path overlap cases (deterministic functional
+//! inputs with a disjoint splitter, where `split_correct_df` must agree
+//! with both general strategies).
+
+use crate::split_correctness::{split_correct, split_correct_df, split_correct_with, Verdict};
+use proptest::prelude::*;
+use splitc_spanner::equiv::CheckStrategy;
+use splitc_spanner::eval::eval;
+use splitc_spanner::rgx::Rgx;
+use splitc_spanner::splitter::{compose, Splitter};
+use splitc_spanner::vsa::Vsa;
+
+/// Extractor pool: patterns over {a, b, '.'} with one variable, chosen
+/// to mix self-splittable, crossing, and context-dependent shapes.
+const PATTERNS: &[&str] = &[
+    ".*x{a+}.*",
+    "x{a+}",
+    ".*x{a\\.a}.*",
+    "(.*\\.)?x{[ab]+}(\\..*)?",
+    "x{[ab]*}",
+    ".*x{ab}.*",
+    "a?x{b+}a?",
+    ".*x{}.*",
+];
+
+/// Splitter pool: disjoint and non-disjoint, covering and non-covering.
+const SPLITTERS: &[&str] = &[
+    "(.*\\.)?x{[^.]+}(\\..*)?", // sentences (disjoint)
+    "x{.*}",                    // whole document (disjoint)
+    ".*x{..}.*",                // 2-byte windows (non-disjoint)
+    "x{a*}.*",                  // a-prefixes
+];
+
+fn vsa(p: &str) -> Vsa {
+    Rgx::parse(p).unwrap().to_vsa().unwrap()
+}
+
+/// Replays a counterexample: the disputed tuple must be produced by
+/// exactly one of `P` and `P_S ∘ S` on the witness document.
+fn assert_witness_is_real(
+    p: &Vsa,
+    ps: &Vsa,
+    s: &Splitter,
+    verdict: &Verdict,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    if let Verdict::Fails(cex) = verdict {
+        let composed = compose(ps, s);
+        let in_p = eval(p, &cex.doc).contains(&cex.tuple);
+        let in_comp = eval(&composed, &cex.doc).contains(&cex.tuple);
+        prop_assert_ne!(
+            in_p,
+            in_comp,
+            "{} witness must separate the sides: doc {:?} tuple {:?}",
+            label,
+            String::from_utf8_lossy(&cex.doc),
+            cex.tuple.spans()
+        );
+        prop_assert_eq!(in_p, cex.left_has_it, "{} witness side flag", label);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Antichain and determinize-first certification agree on random
+    /// spanner/splitter triples, and both produce minimal, replayable
+    /// witnesses on failure.
+    #[test]
+    fn strategies_agree_on_split_correctness(
+        pi in 0..PATTERNS.len(),
+        qi in 0..PATTERNS.len(),
+        si in 0..SPLITTERS.len(),
+    ) {
+        let p = vsa(PATTERNS[pi]);
+        let ps = vsa(PATTERNS[qi]);
+        let s = Splitter::parse(SPLITTERS[si]).unwrap();
+        let anti = split_correct_with(&p, &ps, &s, CheckStrategy::Antichain).unwrap();
+        let detf = split_correct_with(&p, &ps, &s, CheckStrategy::DeterminizeFirst).unwrap();
+        prop_assert_eq!(anti.holds(), detf.holds(), "P={} PS={} S={}",
+            PATTERNS[pi], PATTERNS[qi], SPLITTERS[si]);
+        // Both searches are breadth-first, so the witness documents have
+        // the same (minimal) length even when the tuples differ.
+        if let (Verdict::Fails(a), Verdict::Fails(d)) = (&anti, &detf) {
+            prop_assert_eq!(a.doc.len(), d.doc.len(), "shortest-witness lengths");
+        }
+        assert_witness_is_real(&p, &ps, &s, &anti, "antichain")?;
+        assert_witness_is_real(&p, &ps, &s, &detf, "determinize-first")?;
+    }
+
+    /// The default entry point is the antichain strategy.
+    #[test]
+    fn default_strategy_is_antichain(
+        pi in 0..PATTERNS.len(),
+        si in 0..SPLITTERS.len(),
+    ) {
+        let p = vsa(PATTERNS[pi]);
+        let s = Splitter::parse(SPLITTERS[si]).unwrap();
+        let default = split_correct(&p, &p, &s).unwrap();
+        let anti = split_correct_with(&p, &p, &s, CheckStrategy::Antichain).unwrap();
+        prop_assert_eq!(default.holds(), anti.holds());
+    }
+
+    /// Guarded-product fast-path overlap: on deterministic functional
+    /// inputs with a disjoint splitter, `split_correct_df` agrees with
+    /// both general strategies. Patterns avoid boundary-adjacent empty
+    /// spans, where the paper's pointwise procedure is documented to be
+    /// strictly stronger (see `split_correctness` module docs).
+    #[test]
+    fn fast_path_overlap_agrees_with_both_strategies(
+        pi in 0..PATTERNS.len(),
+        qi in 0..PATTERNS.len(),
+    ) {
+        // ".*x{}.*" puts empty spans on split boundaries — the
+        // documented pointwise divergence; skip it here (the shimmed
+        // proptest has no prop_assume).
+        if PATTERNS[pi] == ".*x{}.*" || PATTERNS[qi] == ".*x{}.*" {
+            return Ok(());
+        }
+        let p = vsa(PATTERNS[pi]).determinize();
+        let ps = vsa(PATTERNS[qi]).determinize();
+        let s = Splitter::parse(SPLITTERS[0]).unwrap().determinize(); // sentences
+        let fast = split_correct_df(&p, &ps, &s).unwrap();
+        let anti = split_correct_with(&p, &ps, &s, CheckStrategy::Antichain).unwrap();
+        let detf = split_correct_with(&p, &ps, &s, CheckStrategy::DeterminizeFirst).unwrap();
+        prop_assert_eq!(anti.holds(), detf.holds());
+        prop_assert_eq!(fast.holds(), anti.holds(),
+            "fast path vs general: P={} PS={}", PATTERNS[pi], PATTERNS[qi]);
+        assert_witness_is_real(&p, &ps, &s, &fast, "fast-path")?;
+    }
+}

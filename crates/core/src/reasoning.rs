@@ -12,6 +12,7 @@
 //! All checks reduce to (filtered) spanner equivalence through the
 //! composition construction of Lemma 6.1 ([`splitc_spanner::splitter::compose_splitter`]).
 
+use crate::error::CertError;
 use crate::split_correctness::{CounterExample, Verdict};
 use crate::util;
 use splitc_automata::nfa::StateId;
@@ -32,7 +33,7 @@ use splitc_spanner::vsa::Vsa;
 /// let v = commute(&splitter::sentences(), &splitter::lines(), None).unwrap();
 /// assert!(v.holds());
 /// ```
-pub fn commute(s1: &Splitter, s2: &Splitter, context: Option<&Vsa>) -> Result<Verdict, String> {
+pub fn commute(s1: &Splitter, s2: &Splitter, context: Option<&Vsa>) -> Result<Verdict, CertError> {
     let c12 = compose_splitter(s1, s2);
     let c21 = compose_splitter(s2, s1);
     filtered_splitter_equiv(&c12, &c21, context, "splitters do not commute")
@@ -45,7 +46,7 @@ pub fn subsumes(
     s: &Splitter,
     s_prime: &Splitter,
     context: Option<&Vsa>,
-) -> Result<Verdict, String> {
+) -> Result<Verdict, CertError> {
     let composed = compose_splitter(s_prime, s);
     filtered_splitter_equiv(s, &composed, context, "no subsumption")
 }
@@ -57,10 +58,12 @@ fn filtered_splitter_equiv(
     b: &Splitter,
     context: Option<&Vsa>,
     reason: &str,
-) -> Result<Verdict, String> {
+) -> Result<Verdict, CertError> {
     if let Some(ctx) = context {
         if !ctx.vars().is_empty() {
-            return Err("context must be a variable-free regular language".into());
+            return Err(CertError::Invalid(
+                "context must be a variable-free regular language".into(),
+            ));
         }
     }
     // Align variable names.

@@ -26,11 +26,12 @@
 //! [`split_correct`]; the test suite contains a witness for the
 //! discrepancy (`boundary_empty_span_corner`).
 
-use crate::cover::{self, cover_condition_df};
+use crate::cover;
+use crate::error::CertError;
 use crate::util;
 use splitc_automata::nfa::{Nfa, StateId, Sym};
 use splitc_automata::ops::{self, Containment};
-use splitc_spanner::equiv::SpannerCheck;
+use splitc_spanner::equiv::{CheckStrategy, SpannerCheck};
 use splitc_spanner::ext::ExtAlphabet;
 use splitc_spanner::span::Span;
 use splitc_spanner::splitter::{compose, Splitter};
@@ -123,33 +124,63 @@ impl std::error::Error for FastPathError {}
 /// let s = splitc_spanner::splitter::http_messages();
 /// assert!(split_correct(&p, &ps, &s).unwrap().holds());
 /// ```
-pub fn split_correct(p: &Vsa, ps: &Vsa, s: &Splitter) -> Result<Verdict, String> {
+pub fn split_correct(p: &Vsa, ps: &Vsa, s: &Splitter) -> Result<Verdict, CertError> {
+    split_correct_with(p, ps, s, CheckStrategy::default())
+}
+
+/// [`split_correct`] with an explicit containment engine
+/// ([`CheckStrategy`]); the determinize-first strategy is the
+/// differential-testing and benchmarking baseline of the antichain
+/// certification engine.
+pub fn split_correct_with(
+    p: &Vsa,
+    ps: &Vsa,
+    s: &Splitter,
+    strategy: CheckStrategy,
+) -> Result<Verdict, CertError> {
     if p.vars().names() != ps.vars().names() {
-        return Err(format!(
-            "P and P_S must share variables: {} vs {}",
-            p.vars(),
-            ps.vars()
-        ));
+        return Err(CertError::VariableMismatch {
+            left: p.vars().to_string(),
+            right: ps.vars().to_string(),
+        });
     }
     let composed = compose(ps, s);
-    Ok(match splitc_spanner::spanner_equivalent(p, &composed)? {
-        SpannerCheck::Holds => Verdict::Holds,
-        SpannerCheck::Counterexample {
-            doc,
-            tuple,
-            left_has_it,
-        } => Verdict::Fails(CounterExample {
-            doc,
-            tuple,
-            split: None,
-            left_has_it,
-            reason: if left_has_it {
-                "P produces a tuple that P_S ∘ S does not".into()
-            } else {
-                "P_S ∘ S produces a tuple that P does not".into()
-            },
-        }),
-    })
+    split_correct_composed(p, &composed, strategy)
+}
+
+/// Split-correctness against an **already composed** spanner
+/// `P′ = P_S ∘ S` (see [`splitc_spanner::splitter::compose`]).
+///
+/// This is the batch certifier's entry point
+/// (`splitc_exec::certify::certify_many`): across many `(P, P_S)` pairs
+/// sharing a splitter, the polynomial-size composition is computed once
+/// per distinct `P_S` and reused, so each pair only pays for the
+/// equivalence search itself.
+pub fn split_correct_composed(
+    p: &Vsa,
+    composed: &Vsa,
+    strategy: CheckStrategy,
+) -> Result<Verdict, CertError> {
+    Ok(
+        match splitc_spanner::spanner_equivalent_with(p, composed, strategy)? {
+            SpannerCheck::Holds => Verdict::Holds,
+            SpannerCheck::Counterexample {
+                doc,
+                tuple,
+                left_has_it,
+            } => Verdict::Fails(CounterExample {
+                doc,
+                tuple,
+                split: None,
+                left_has_it,
+                reason: if left_has_it {
+                    "P produces a tuple that P_S ∘ S does not".into()
+                } else {
+                    "P_S ∘ S produces a tuple that P does not".into()
+                },
+            }),
+        },
+    )
 }
 
 /// Self-splittability (Theorem 5.16): is `P = P ∘ S`?
@@ -169,7 +200,7 @@ pub fn split_correct(p: &Vsa, ps: &Vsa, s: &Splitter) -> Result<Verdict, String>
 ///     Verdict::Holds => unreachable!(),
 /// }
 /// ```
-pub fn self_splittable(p: &Vsa, s: &Splitter) -> Result<Verdict, String> {
+pub fn self_splittable(p: &Vsa, s: &Splitter) -> Result<Verdict, CertError> {
     split_correct(p, p, s)
 }
 
@@ -177,29 +208,45 @@ pub fn self_splittable(p: &Vsa, s: &Splitter) -> Result<Verdict, String> {
 /// VSet-automata with a disjoint splitter (Theorem 5.7).
 ///
 /// See the module documentation for the boundary caveat.
-pub fn split_correct_df(p: &Vsa, ps: &Vsa, s: &Splitter) -> Result<Verdict, FastPathError> {
+pub fn split_correct_df(p: &Vsa, ps: &Vsa, s: &Splitter) -> Result<Verdict, CertError> {
     if p.vars().names() != ps.vars().names() {
-        return Err(FastPathError::new("P and P_S must share variables"));
+        return Err(CertError::VariableMismatch {
+            left: p.vars().to_string(),
+            right: ps.vars().to_string(),
+        });
     }
     cover::validate_df(p, "P")?;
     cover::validate_df(ps, "P_S")?;
     cover::validate_df(s.vsa(), "S")?;
     if !s.is_disjoint() {
-        return Err(FastPathError::new("splitter is not disjoint"));
+        return Err(FastPathError::new("splitter is not disjoint").into());
     }
+    Ok(split_correct_df_prechecked(p, ps, s))
+}
 
+/// [`split_correct_df`] minus the precondition validation: the caller
+/// guarantees `p`, `ps`, and `s` are deterministic functional automata
+/// with identical `P`/`P_S` variables and a **disjoint** splitter —
+/// verdicts are meaningless otherwise.
+///
+/// This is the batch certifier's fast-path entry point
+/// (`splitc_exec::certify`): across a fleet, the splitter preconditions
+/// are established once per batch and the spanner preconditions once
+/// per distinct spanner, so per-pair work is just the Lemma 5.6 cover
+/// check plus the guarded product search.
+pub fn split_correct_df_prechecked(p: &Vsa, ps: &Vsa, s: &Splitter) -> Verdict {
     // Step 1: cover condition (Lemma 5.6) — necessary by Lemma 5.3.
-    match cover_condition_df(p, s)? {
+    match cover::cover_condition_df_prechecked(p, s) {
         Verdict::Holds => {}
-        fails => return Ok(fails),
+        fails => return fails,
     }
 
     // Step 2: guarded product search for a distinguishing ref-word.
-    Ok(guarded_product_check(p, ps, s))
+    guarded_product_check(p, ps, s)
 }
 
 /// Polynomial-time self-splittability (Theorem 5.17).
-pub fn self_splittable_df(p: &Vsa, s: &Splitter) -> Result<Verdict, FastPathError> {
+pub fn self_splittable_df(p: &Vsa, s: &Splitter) -> Result<Verdict, CertError> {
     split_correct_df(p, p, s)
 }
 

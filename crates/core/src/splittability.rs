@@ -13,6 +13,7 @@
 //! producing `d` on which `P` outputs the shifted `t` — see the paper's
 //! Example 5.10 for why disjointness is needed for canonicity.
 
+use crate::error::CertError;
 use crate::split_correctness::{split_correct, CounterExample, Verdict};
 use crate::util;
 use splitc_automata::nfa::{Nfa, StateId};
@@ -204,13 +205,13 @@ fn bytes_only(nfa: &Nfa, ext: &ExtAlphabet) -> Nfa {
 ///     SplittabilityVerdict::Splittable { .. }
 /// ));
 /// ```
-pub fn splittable(p: &Vsa, s: &Splitter) -> Result<SplittabilityVerdict, String> {
+pub fn splittable(p: &Vsa, s: &Splitter) -> Result<SplittabilityVerdict, CertError> {
     if !s.is_disjoint() {
-        return Err(
+        return Err(CertError::UnsupportedSplitter(
             "splittability via the canonical split-spanner requires a disjoint \
              splitter (Lemma 5.12); decidability for general splitters is open"
                 .into(),
-        );
+        ));
     }
     let canonical = canonical_split_spanner(p, s);
     Ok(match split_correct(p, &canonical, s)? {

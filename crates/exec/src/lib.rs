@@ -24,11 +24,17 @@
 //!   bounded queue with per-worker dense-engine caches
 //!   ([`corpus::CorpusRunner`]) — the shape that scales split-correct
 //!   evaluation to corpora larger than memory.
+//! * **Batch certification** ([`certify`]): the step *before* any of
+//!   the above — a fleet of `(P, P_S)` pairs sharing one splitter is
+//!   certified split-correct on a worker pool, with the composed
+//!   spanners memoized across pairs and the antichain containment
+//!   engine on the general route ([`certify::certify_many`]).
 //!
 //! The repository's top-level `ARCHITECTURE.md` shows where this crate
 //! sits in the full pipeline (regex → VSA/eVSA → engines → execution).
 
 pub mod annotated;
+pub mod certify;
 pub mod corpus;
 pub mod engine;
 pub mod incremental;
@@ -36,6 +42,9 @@ pub mod simulate;
 pub mod stream;
 
 pub use annotated::{AnnotatedPlan, AnnotatedSplitFn};
+pub use certify::{
+    certify_many, CertPath, Certification, CertifyConfig, CertifyResult, CertifyStats,
+};
 pub use corpus::{CorpusResult, CorpusRunner, CorpusRunnerConfig, CorpusStats};
 pub use engine::{
     evaluate_many, evaluate_many_split, evaluate_sequential, evaluate_split, Engine, ExecSpanner,

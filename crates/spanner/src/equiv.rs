@@ -17,7 +17,45 @@ use crate::evsa::EVsa;
 use crate::ext::ExtAlphabet;
 use crate::tuple::SpanTuple;
 use crate::vsa::Vsa;
-use splitc_automata::ops::{self, Containment};
+use splitc_automata::antichain;
+use splitc_automata::nfa::Nfa;
+use splitc_automata::ops::Containment;
+
+/// Containment engine selection for the language-level spanner checks.
+///
+/// The default routes through the antichain-pruned on-the-fly search
+/// ([`splitc_automata::antichain`]); the determinize-first reference is
+/// kept for differential testing and for the
+/// `t3_certification_scaling` benchmark baseline. Verdicts are always
+/// identical; only cost differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckStrategy {
+    /// Lazy subset search with antichain pruning and symbol-class
+    /// alphabet collapse (the production path).
+    #[default]
+    Antichain,
+    /// Determinize the right-hand automaton up front (exponential in its
+    /// size regardless of the instance), then walk the product.
+    DeterminizeFirst,
+}
+
+impl CheckStrategy {
+    /// Stable lowercase name, as used in `BENCH` row `engine` fields.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckStrategy::Antichain => "antichain",
+            CheckStrategy::DeterminizeFirst => "determinize",
+        }
+    }
+
+    /// Containment of raw NFAs under this strategy.
+    pub(crate) fn contains(self, a: &Nfa, b: &Nfa) -> Containment {
+        match self {
+            CheckStrategy::Antichain => antichain::contains(a, b),
+            CheckStrategy::DeterminizeFirst => antichain::contains_determinize_first(a, b),
+        }
+    }
+}
 
 /// Result of a spanner containment / equivalence check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +95,15 @@ pub(crate) fn normalize(vsa: &Vsa) -> EVsa {
 /// Both spanners must have the same variables (`SVars`); this is an
 /// interface error, reported as `Err`.
 pub fn spanner_contains(p: &Vsa, p_prime: &Vsa) -> Result<SpannerCheck, String> {
+    spanner_contains_with(p, p_prime, CheckStrategy::default())
+}
+
+/// [`spanner_contains`] with an explicit containment engine.
+pub fn spanner_contains_with(
+    p: &Vsa,
+    p_prime: &Vsa,
+    strategy: CheckStrategy,
+) -> Result<SpannerCheck, String> {
     if p.vars().names() != p_prime.vars().names() {
         return Err(format!(
             "containment requires identical variables: {} vs {}",
@@ -71,7 +118,7 @@ pub fn spanner_contains(p: &Vsa, p_prime: &Vsa) -> Result<SpannerCheck, String> 
     let ext = ExtAlphabet::from_masks(p.vars().clone(), &masks);
     let na = ea.to_nfa(&ext);
     let nb = eb.to_nfa(&ext);
-    Ok(match ops::contains(&na, &nb) {
+    Ok(match strategy.contains(&na, &nb) {
         Containment::Contained => SpannerCheck::Holds,
         Containment::Counterexample(w) => decode_counterexample(&ext, &w, true),
     })
@@ -79,11 +126,20 @@ pub fn spanner_contains(p: &Vsa, p_prime: &Vsa) -> Result<SpannerCheck, String> 
 
 /// Decides `P = P′` (same output on every document).
 pub fn spanner_equivalent(p: &Vsa, p_prime: &Vsa) -> Result<SpannerCheck, String> {
-    match spanner_contains(p, p_prime)? {
+    spanner_equivalent_with(p, p_prime, CheckStrategy::default())
+}
+
+/// [`spanner_equivalent`] with an explicit containment engine.
+pub fn spanner_equivalent_with(
+    p: &Vsa,
+    p_prime: &Vsa,
+    strategy: CheckStrategy,
+) -> Result<SpannerCheck, String> {
+    match spanner_contains_with(p, p_prime, strategy)? {
         SpannerCheck::Holds => {}
         cex => return Ok(cex),
     }
-    Ok(match spanner_contains(p_prime, p)? {
+    Ok(match spanner_contains_with(p_prime, p, strategy)? {
         SpannerCheck::Holds => SpannerCheck::Holds,
         SpannerCheck::Counterexample { doc, tuple, .. } => SpannerCheck::Counterexample {
             doc,

@@ -62,7 +62,10 @@ pub mod vars;
 pub mod vsa;
 
 pub use dense::{DenseCache, DenseCacheStats, DenseConfig, DenseEvsa};
-pub use equiv::{spanner_contains, spanner_equivalent, SpannerCheck};
+pub use equiv::{
+    spanner_contains, spanner_contains_with, spanner_equivalent, spanner_equivalent_with,
+    CheckStrategy, SpannerCheck,
+};
 pub use evsa::EVsa;
 pub use rgx::Rgx;
 pub use span::Span;

@@ -2,12 +2,18 @@
 """Sanity-checks a BENCH JSON-lines file produced by bench_smoke.sh.
 
 Verifies the stable row schema, that the dense engine beats the NFA
-engine by the required factor on at least one e-series benchmark, and —
-when e5 rows are present — that streaming corpus execution
+engine by the required factor on at least one e-series benchmark, that —
+when e5 rows are present — streaming corpus execution
 (`e5_corpus_stream/stream`) is not slower than the materialize-then-
-split baseline (`e5_corpus_stream/batch`) beyond the allowed ratio.
+split baseline (`e5_corpus_stream/batch`) beyond the allowed ratio,
+and that — when t3_certification_scaling rows are present — the
+antichain certification engine beats the determinize-first reference by
+the required factor at the largest `needle` scale point (the family
+whose determinization grows as 2^k; small points are overhead-dominated
+by design, the gate is the asymptotic one).
 
-Usage: scripts/bench_check.py BENCH_pr.json [min-speedup] [min-stream-ratio]
+Usage: scripts/bench_check.py BENCH_pr.json [min-speedup] \
+           [min-stream-ratio] [min-cert-speedup]
 """
 import json
 import sys
@@ -19,6 +25,7 @@ def main() -> int:
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr.json"
     min_speedup = float(sys.argv[2]) if len(sys.argv) > 2 else 1.5
     min_stream_ratio = float(sys.argv[3]) if len(sys.argv) > 3 else 0.0
+    min_cert_speedup = float(sys.argv[4]) if len(sys.argv) > 4 else 0.0
     rows = []
     with open(path) as f:
         for line in f:
@@ -69,6 +76,31 @@ def main() -> int:
             print(f"streaming ratio {ratio:.2f}x ({engine}) is below the "
                   f"required {min_stream_ratio:.2f}x")
             return 1
+
+    # Certification engine: antichain vs determinize-first on the gated
+    # needle family, judged at the largest scale point present.
+    cert = {}
+    for row in rows:
+        prefix = "t3_certification_scaling/needle_k="
+        if row["bench"].startswith(prefix):
+            k = int(row["bench"][len(prefix):])
+            cert.setdefault(k, {})[row["engine"]] = row["wall_ms"]
+    gated = [k for k, engines in cert.items()
+             if "antichain" in engines and "determinize" in engines]
+    if gated:
+        k = max(gated)
+        anti = cert[k]["antichain"]
+        det = cert[k]["determinize"]
+        speedup = det / max(anti, 1e-9)
+        print(f"t3_certification_scaling (needle k={k}): determinize {det:.2f} ms, "
+              f"antichain {anti:.2f} ms -> {speedup:.2f}x")
+        if speedup < min_cert_speedup:
+            print(f"antichain certification speedup {speedup:.2f}x at needle k={k} "
+                  f"is below the required {min_cert_speedup:.2f}x")
+            return 1
+    elif min_cert_speedup > 0.0:
+        print("certification gate requested but no needle rows with both engines")
+        return 1
 
     print(f"OK: {len(rows)} rows; best dense speedup {best:.2f}x on {best_bench}")
     return 0

@@ -38,6 +38,9 @@ run e4_reviews_speedup dense
 run e5_corpus_stream nfa
 run e5_corpus_stream dense
 run t2_splitcorrect_scaling dense
+# Emits both certification engines (antichain + determinize) itself;
+# the --engine flag is accepted-and-ignored for uniformity.
+run t3_certification_scaling dense
 
 echo "wrote $(wc -l <"$out") rows to $out" >&2
 cat "$out"

@@ -59,10 +59,11 @@ pub mod prelude {
     pub use splitc_core::{
         annotated, blackbox, canonical_split_spanner, cover_condition, cover_condition_df, filters,
         reasoning, self_splittable, self_splittable_df, split_correct, split_correct_df,
-        splittable, SplittabilityVerdict, Verdict,
+        split_correct_with, splittable, CertError, CheckStrategy, SplittabilityVerdict, Verdict,
     };
     pub use splitc_exec::{
-        evaluate_many, evaluate_many_split, evaluate_sequential, evaluate_split, CorpusResult,
+        certify_many, evaluate_many, evaluate_many_split, evaluate_sequential, evaluate_split,
+        CertPath, Certification, CertifyConfig, CertifyResult, CertifyStats, CorpusResult,
         CorpusRunner, CorpusRunnerConfig, CorpusStats, Engine, ExecSpanner, IncrementalRunner,
         Segment, SplitFn, StreamingSplitter,
     };

@@ -191,6 +191,48 @@ fn corpus_stream_main_path() {
     );
 }
 
+/// `examples/fleet_certification.rs`: batch certification of an
+/// extractor fleet sharing one splitter, then a corpus run with a
+/// certified survivor.
+#[test]
+fn fleet_certification_main_path() {
+    let patterns = [
+        ".*x{a+}.*",
+        "(.*[^A-Za-z0-9]|)x{[A-Za-z0-9]+}([^A-Za-z0-9].*|)",
+        ".*x{a\\.a}.*",
+        ".*\\. x{[a-z]+}.*",
+    ];
+    let fleet: Vec<Vsa> = patterns
+        .iter()
+        .map(|p| Rgx::parse(p).unwrap().to_vsa().unwrap())
+        .collect();
+    let s = splitters::sentences();
+    let pairs: Vec<(usize, usize)> = (0..fleet.len()).map(|i| (i, i)).collect();
+    let result = certify_many(&fleet, &s, &pairs, &CertifyConfig::default());
+    assert_eq!(result.stats.pairs, pairs.len());
+    assert!(result.outcomes[0].holds(), "a-runs are sentence-local");
+    assert!(result.outcomes[1].holds(), "tokens are sentence-local");
+    assert!(!result.outcomes[2].holds(), "crossing window must fail");
+    assert!(!result.outcomes[3].holds(), "context extractor must fail");
+    // Every verdict matches the single-pair procedure.
+    for (outcome, &(pi, si)) in result.outcomes.iter().zip(&pairs) {
+        let single = split_correct(&fleet[pi], &fleet[si], &s).unwrap();
+        assert_eq!(outcome.verdict.as_ref().unwrap().holds(), single.holds());
+    }
+    // The certified survivor distributes over a streamed corpus.
+    let runner = CorpusRunner::new(
+        ExecSpanner::compile(&fleet[0]),
+        s.compile(),
+        CorpusRunnerConfig::default(),
+    );
+    let cfg = CorpusConfig {
+        target_bytes: 8 << 10,
+        ..Default::default()
+    };
+    let out = runner.run_streams(textgen::wiki_corpus_shards(2, &cfg));
+    assert_eq!(out.stats.docs, 2);
+}
+
 /// `examples/query_planning.rs`: §6 reasoning and §7.1 black-box
 /// inference.
 #[test]
