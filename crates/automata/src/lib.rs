@@ -26,6 +26,9 @@
 //!   coarsest partition of `0..=255` refining a collection of byte sets,
 //!   shared by the spanner crate's interned alphabets and its dense
 //!   lazy-DFA evaluation layer.
+//! * [`scan`] — word-at-a-time (SWAR) byte scanning: `memchr`-family
+//!   searches and the compiled [`ByteFinder`], the substrate of the
+//!   evaluation layer's literal prefilters and skip-loops.
 //!
 //! Symbols are dense `u32` identifiers ([`Sym`]); callers intern whatever
 //! alphabet they need (bytes, extended spanner alphabets, pair alphabets).
@@ -36,12 +39,14 @@ pub mod counting;
 pub mod dfa;
 pub mod nfa;
 pub mod ops;
+pub mod scan;
 pub mod unambiguous;
 
 pub use antichain::AntichainStats;
 pub use classes::{ByteClassBuilder, ByteClasses};
 pub use dfa::Dfa;
 pub use nfa::{Nfa, StateId, Sym};
+pub use scan::ByteFinder;
 
 #[cfg(test)]
 mod proptests;

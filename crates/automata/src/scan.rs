@@ -1,0 +1,476 @@
+//! Word-at-a-time byte scanning (SWAR).
+//!
+//! The evaluation engines spend most of their time asking one question
+//! per input byte: *is this byte interesting?* For match-sparse inputs
+//! the answer is almost always "no", and answering it through a
+//! table-driven automaton step wastes an order of magnitude over what
+//! the hardware can do. This module provides the scanning primitives the
+//! skip-loops and literal prefilters are built on — `memchr`-family
+//! searches implemented **SWAR** (SIMD Within A Register): eight bytes
+//! are tested per 64-bit word using the classic zero-byte detector
+//! `(w - 0x01…01) & !w & 0x80…80`, with no dependency on `std::arch` or
+//! crates.io (the container builds offline, so the `memchr` crate is not
+//! available).
+//!
+//! Correctness notes baked into the implementation:
+//!
+//! * The zero-byte detector's *least-significant* flagged byte is always
+//!   a true match (borrows propagate from low to high bytes only), so
+//!   the forward searches use `trailing_zeros` directly.
+//! * The *most-significant* flagged byte can be spurious (a borrow out
+//!   of a true match can flag the byte above it), so the reverse
+//!   searches re-verify the flagged word byte-by-byte.
+//! * The range detector reduces `lo ≤ b ≤ hi` to `b - lo < n` via an
+//!   exact SWAR per-byte subtraction (`psubb`) followed by the
+//!   "byte less than n" detector, which requires `n ≤ 128` — ranges
+//!   wider than 128 bytes take the table path instead.
+//!
+//! Every primitive is differentially tested against the naive
+//! byte-by-byte loop over adversarial and random inputs.
+
+/// `0x01` replicated into every byte lane.
+const LO: u64 = 0x0101_0101_0101_0101;
+/// `0x80` replicated into every byte lane.
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Zero-byte detector: the high bit of every all-zero byte lane of `w`
+/// is set in the result. Lanes *above* a zero lane may be flagged
+/// spuriously (borrow propagation); the lowest flagged lane is exact.
+#[inline]
+fn zero_lanes(w: u64) -> u64 {
+    w.wrapping_sub(LO) & !w & HI
+}
+
+/// Exact per-byte (lane-wise) subtraction `a - b` without cross-lane
+/// borrows — the SWAR emulation of `psubb`.
+#[inline]
+fn psubb(a: u64, b: u64) -> u64 {
+    ((a | HI).wrapping_sub(b & !HI)) ^ ((a ^ !b) & HI)
+}
+
+/// "Lane less than `n`" detector for `n <= 128`: the high bit of every
+/// lane whose byte value is `< n` is set. Same borrow caveat as
+/// [`zero_lanes`]: only the lowest flagged lane is exact.
+#[inline]
+fn lanes_lt(w: u64, n: u8) -> u64 {
+    debug_assert!(n as u32 <= 128);
+    w.wrapping_sub(LO.wrapping_mul(n as u64)) & !w & HI
+}
+
+#[inline]
+fn load(hay: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(hay[i..i + 8].try_into().expect("8-byte window"))
+}
+
+/// Position of the first occurrence of `needle` in `hay`.
+pub fn memchr(needle: u8, hay: &[u8]) -> Option<usize> {
+    let pat = LO.wrapping_mul(needle as u64);
+    let n = hay.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let m = zero_lanes(load(hay, i) ^ pat);
+        if m != 0 {
+            return Some(i + (m.trailing_zeros() >> 3) as usize);
+        }
+        i += 8;
+    }
+    hay[i..].iter().position(|&b| b == needle).map(|p| i + p)
+}
+
+/// Position of the first occurrence of `a` or `b` in `hay`.
+pub fn memchr2(a: u8, b: u8, hay: &[u8]) -> Option<usize> {
+    let pa = LO.wrapping_mul(a as u64);
+    let pb = LO.wrapping_mul(b as u64);
+    let n = hay.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let w = load(hay, i);
+        let m = zero_lanes(w ^ pa) | zero_lanes(w ^ pb);
+        if m != 0 {
+            return Some(i + (m.trailing_zeros() >> 3) as usize);
+        }
+        i += 8;
+    }
+    hay[i..]
+        .iter()
+        .position(|&x| x == a || x == b)
+        .map(|p| i + p)
+}
+
+/// Position of the first occurrence of `a`, `b` or `c` in `hay`.
+pub fn memchr3(a: u8, b: u8, c: u8, hay: &[u8]) -> Option<usize> {
+    let pa = LO.wrapping_mul(a as u64);
+    let pb = LO.wrapping_mul(b as u64);
+    let pc = LO.wrapping_mul(c as u64);
+    let n = hay.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let w = load(hay, i);
+        let m = zero_lanes(w ^ pa) | zero_lanes(w ^ pb) | zero_lanes(w ^ pc);
+        if m != 0 {
+            return Some(i + (m.trailing_zeros() >> 3) as usize);
+        }
+        i += 8;
+    }
+    hay[i..]
+        .iter()
+        .position(|&x| x == a || x == b || x == c)
+        .map(|p| i + p)
+}
+
+/// Position of the last occurrence of `needle` in `hay`.
+pub fn memrchr(needle: u8, hay: &[u8]) -> Option<usize> {
+    let pat = LO.wrapping_mul(needle as u64);
+    rscan(hay, |w| zero_lanes(w ^ pat)).and_then(|cand| verify_back(hay, cand, |b| b == needle))
+}
+
+/// Reverse scan driver: returns the start index of the highest 8-byte
+/// window whose detector fired (a *candidate* — lanes may be spurious),
+/// or falls back to an exact byte scan over the unaligned tail/short
+/// haystack. `None` means no window fired and the exact prefix scan
+/// found nothing either — i.e. truly absent.
+///
+/// The detector caveat (spurious high lanes) means a fired window must
+/// be re-verified byte-by-byte; [`verify_back`] does that and continues
+/// the scan below on a false alarm.
+#[inline]
+fn rscan(hay: &[u8], detect: impl Fn(u64) -> u64) -> Option<usize> {
+    let n = hay.len();
+    let mut i = n;
+    while i >= 8 {
+        let w = load(hay, i - 8);
+        if detect(w) != 0 {
+            return Some(i - 8);
+        }
+        i -= 8;
+    }
+    // Delegate the short prefix to the caller's exact check by
+    // reporting a pseudo-window at 0 covering the remainder.
+    if i > 0 {
+        return Some(usize::MAX);
+    }
+    None
+}
+
+/// Exact reverse verification: scans `hay[..window_end]` byte-by-byte
+/// from the end, where `cand` is the window start reported by
+/// [`rscan`] (`usize::MAX` = only the short prefix remains). Returns the
+/// highest true match at or below the candidate window.
+#[inline]
+fn verify_back(hay: &[u8], cand: usize, matches: impl Fn(u8) -> bool) -> Option<usize> {
+    let end = if cand == usize::MAX {
+        hay.len().min(7)
+    } else {
+        cand + 8
+    };
+    hay[..end].iter().rposition(|&b| matches(b))
+}
+
+/// Position of the last occurrence of `a` or `b` in `hay`.
+pub fn memrchr2(a: u8, b: u8, hay: &[u8]) -> Option<usize> {
+    let pa = LO.wrapping_mul(a as u64);
+    let pb = LO.wrapping_mul(b as u64);
+    rscan(hay, |w| zero_lanes(w ^ pa) | zero_lanes(w ^ pb))
+        .and_then(|cand| verify_back(hay, cand, |x| x == a || x == b))
+}
+
+/// Position of the last occurrence of `a`, `b` or `c` in `hay`.
+pub fn memrchr3(a: u8, b: u8, c: u8, hay: &[u8]) -> Option<usize> {
+    let pa = LO.wrapping_mul(a as u64);
+    let pb = LO.wrapping_mul(b as u64);
+    let pc = LO.wrapping_mul(c as u64);
+    rscan(hay, |w| {
+        zero_lanes(w ^ pa) | zero_lanes(w ^ pb) | zero_lanes(w ^ pc)
+    })
+    .and_then(|cand| verify_back(hay, cand, |x| x == a || x == b || x == c))
+}
+
+/// A compiled searcher for an arbitrary byte *set*, selecting the
+/// fastest applicable strategy at construction time:
+///
+/// * up to three distinct bytes → SWAR [`memchr`]/[`memchr2`]/[`memchr3`];
+/// * a contiguous range narrower than 128 bytes → SWAR range detector;
+/// * anything else → a 256-entry membership table, scanned byte-by-byte
+///   (still branch-predictable and table-lookup cheap — the point of the
+///   skip-loop is avoiding the automaton step, not this lookup).
+///
+/// An **empty** set is a valid finder that never matches — callers use
+/// it for "no escape bytes exist, skip to the end of the input".
+#[derive(Debug, Clone)]
+pub enum ByteFinder {
+    /// The empty set: never matches.
+    Empty,
+    /// One byte.
+    One(u8),
+    /// Two distinct bytes.
+    Two(u8, u8),
+    /// Three distinct bytes.
+    Three(u8, u8, u8),
+    /// A contiguous inclusive range `lo..=hi` with `hi - lo < 128`.
+    Range(u8, u8),
+    /// General membership table.
+    Table(Box<[bool; 256]>),
+}
+
+impl ByteFinder {
+    /// Compiles a finder from a membership predicate over all 256 byte
+    /// values.
+    pub fn from_predicate(contains: impl Fn(u8) -> bool) -> ByteFinder {
+        let bytes: Vec<u8> = (0u16..256)
+            .map(|b| b as u8)
+            .filter(|&b| contains(b))
+            .collect();
+        match bytes.as_slice() {
+            [] => ByteFinder::Empty,
+            [a] => ByteFinder::One(*a),
+            [a, b] => ByteFinder::Two(*a, *b),
+            [a, b, c] => ByteFinder::Three(*a, *b, *c),
+            all => {
+                let (lo, hi) = (all[0], all[all.len() - 1]);
+                if (hi - lo) as usize + 1 == all.len() && hi - lo < 128 {
+                    ByteFinder::Range(lo, hi)
+                } else {
+                    let mut table = Box::new([false; 256]);
+                    for &b in all {
+                        table[b as usize] = true;
+                    }
+                    ByteFinder::Table(table)
+                }
+            }
+        }
+    }
+
+    /// Number of bytes in the compiled set.
+    pub fn set_len(&self) -> usize {
+        match self {
+            ByteFinder::Empty => 0,
+            ByteFinder::One(_) => 1,
+            ByteFinder::Two(..) => 2,
+            ByteFinder::Three(..) => 3,
+            ByteFinder::Range(lo, hi) => (*hi - *lo) as usize + 1,
+            ByteFinder::Table(t) => t.iter().filter(|&&x| x).count(),
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn matches(&self, b: u8) -> bool {
+        match self {
+            ByteFinder::Empty => false,
+            ByteFinder::One(a) => b == *a,
+            ByteFinder::Two(x, y) => b == *x || b == *y,
+            ByteFinder::Three(x, y, z) => b == *x || b == *y || b == *z,
+            ByteFinder::Range(lo, hi) => (*lo..=*hi).contains(&b),
+            ByteFinder::Table(t) => t[b as usize],
+        }
+    }
+
+    /// Position of the first byte of `hay` in the set.
+    pub fn find(&self, hay: &[u8]) -> Option<usize> {
+        match self {
+            ByteFinder::Empty => None,
+            ByteFinder::One(a) => memchr(*a, hay),
+            ByteFinder::Two(a, b) => memchr2(*a, *b, hay),
+            ByteFinder::Three(a, b, c) => memchr3(*a, *b, *c, hay),
+            ByteFinder::Range(lo, hi) => {
+                let lo_vec = LO.wrapping_mul(*lo as u64);
+                let span = *hi - *lo + 1; // <= 128 by construction
+                let n = hay.len();
+                let mut i = 0;
+                while i + 8 <= n {
+                    let m = lanes_lt(psubb(load(hay, i), lo_vec), span);
+                    if m != 0 {
+                        return Some(i + (m.trailing_zeros() >> 3) as usize);
+                    }
+                    i += 8;
+                }
+                hay[i..]
+                    .iter()
+                    .position(|b| (*lo..=*hi).contains(b))
+                    .map(|p| i + p)
+            }
+            ByteFinder::Table(t) => hay.iter().position(|&b| t[b as usize]),
+        }
+    }
+
+    /// Position of the last byte of `hay` in the set.
+    pub fn rfind(&self, hay: &[u8]) -> Option<usize> {
+        match self {
+            ByteFinder::Empty => None,
+            ByteFinder::One(a) => memrchr(*a, hay),
+            ByteFinder::Two(a, b) => memrchr2(*a, *b, hay),
+            ByteFinder::Three(a, b, c) => memrchr3(*a, *b, *c, hay),
+            ByteFinder::Range(lo, hi) => {
+                let lo_vec = LO.wrapping_mul(*lo as u64);
+                let span = *hi - *lo + 1;
+                rscan(hay, |w| lanes_lt(psubb(w, lo_vec), span))
+                    .and_then(|cand| verify_back(hay, cand, |b| (*lo..=*hi).contains(&b)))
+            }
+            ByteFinder::Table(t) => hay.iter().rposition(|&b| t[b as usize]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64 — deterministic pseudo-random bytes without external
+    /// crates (the shimmed `rand` lives in another crate layer).
+    struct Mix(u64);
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn naive_find(hay: &[u8], f: impl Fn(u8) -> bool) -> Option<usize> {
+        hay.iter().position(|&b| f(b))
+    }
+
+    fn naive_rfind(hay: &[u8], f: impl Fn(u8) -> bool) -> Option<usize> {
+        hay.iter().rposition(|&b| f(b))
+    }
+
+    /// Adversarial fixed vectors: borrow-chain shapes (0x00 under 0x01,
+    /// runs crossing word boundaries), every alignment, empty input.
+    fn adversarial() -> Vec<Vec<u8>> {
+        let mut docs: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0],
+            vec![1, 0],
+            vec![0, 1, 0, 1, 0, 1, 0, 1, 0],
+            b"abcdefgh".to_vec(),
+            b"aaaaaaaab".to_vec(),
+            vec![0xFF; 17],
+            vec![0x80, 0x7F, 0x80, 0x7F, 0x80, 0x7F, 0x80, 0x7F, 0x80],
+            (0u16..=255).map(|b| b as u8).collect(),
+        ];
+        for align in 0..8 {
+            let mut d = vec![b'x'; align];
+            d.extend_from_slice(b"yyyyyyyyyyyyyyyyz");
+            docs.push(d);
+        }
+        docs
+    }
+
+    #[test]
+    fn memchr_family_matches_naive() {
+        let mut rng = Mix(1);
+        let mut docs = adversarial();
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 300] {
+            docs.push((0..len).map(|_| (rng.next() % 7) as u8).collect());
+            docs.push((0..len).map(|_| rng.next() as u8).collect());
+        }
+        for doc in &docs {
+            for probe in [0u8, 1, 2, 0x7F, 0x80, 0xFF, b'z', b'a'] {
+                assert_eq!(
+                    memchr(probe, doc),
+                    naive_find(doc, |b| b == probe),
+                    "memchr {probe} in {doc:?}"
+                );
+                assert_eq!(
+                    memrchr(probe, doc),
+                    naive_rfind(doc, |b| b == probe),
+                    "memrchr {probe} in {doc:?}"
+                );
+                let (a, b2) = (probe, probe.wrapping_add(3));
+                assert_eq!(memchr2(a, b2, doc), naive_find(doc, |b| b == a || b == b2));
+                assert_eq!(
+                    memrchr2(a, b2, doc),
+                    naive_rfind(doc, |b| b == a || b == b2)
+                );
+                let c = probe.wrapping_add(0x80);
+                assert_eq!(
+                    memchr3(a, b2, c, doc),
+                    naive_find(doc, |b| b == a || b == b2 || b == c)
+                );
+                assert_eq!(
+                    memrchr3(a, b2, c, doc),
+                    naive_rfind(doc, |b| b == a || b == b2 || b == c)
+                );
+            }
+        }
+    }
+
+    type NamedSet = (&'static str, Box<dyn Fn(u8) -> bool>);
+
+    #[test]
+    fn finder_strategies_match_naive() {
+        let sets: Vec<NamedSet> = vec![
+            ("empty", Box::new(|_| false)),
+            ("one", Box::new(|b| b == b'q')),
+            ("two", Box::new(|b| b == 0 || b == 0xFF)),
+            ("three", Box::new(|b| b == b'a' || b == b'b' || b == 0x80)),
+            ("digits", Box::new(|b: u8| b.is_ascii_digit())),
+            ("high-range", Box::new(|b| (0x80..=0xC0).contains(&b))),
+            ("wide-range", Box::new(|b| b >= 0x20)), // 224 bytes: table path
+            ("scattered", Box::new(|b| b % 37 == 0)),
+            ("all", Box::new(|_| true)),
+        ];
+        let mut rng = Mix(7);
+        let mut docs = adversarial();
+        for len in [0usize, 5, 8, 13, 64, 200] {
+            docs.push((0..len).map(|_| rng.next() as u8).collect());
+            // Sparse: long runs of one filler byte with rare others.
+            docs.push(
+                (0..len)
+                    .map(|_| {
+                        if rng.next() % 29 == 0 {
+                            rng.next() as u8
+                        } else {
+                            b'.'
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        for (name, set) in &sets {
+            let f = ByteFinder::from_predicate(set);
+            for b in 0u16..256 {
+                assert_eq!(f.matches(b as u8), set(b as u8), "{name} matches({b})");
+            }
+            for doc in &docs {
+                assert_eq!(f.find(doc), naive_find(doc, set), "{name} find in {doc:?}");
+                assert_eq!(
+                    f.rfind(doc),
+                    naive_rfind(doc, set),
+                    "{name} rfind in {doc:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn finder_picks_the_documented_strategy() {
+        assert!(matches!(
+            ByteFinder::from_predicate(|_| false),
+            ByteFinder::Empty
+        ));
+        assert!(matches!(
+            ByteFinder::from_predicate(|b| b == 3),
+            ByteFinder::One(3)
+        ));
+        assert!(matches!(
+            ByteFinder::from_predicate(|b: u8| b.is_ascii_digit()),
+            ByteFinder::Range(b'0', b'9')
+        ));
+        // 128-wide range still SWAR; wider falls back to the table.
+        assert!(matches!(
+            ByteFinder::from_predicate(|b| b < 128),
+            ByteFinder::Range(0, 127)
+        ));
+        assert!(matches!(
+            ByteFinder::from_predicate(|b| b < 200),
+            ByteFinder::Table(_)
+        ));
+        assert_eq!(
+            ByteFinder::from_predicate(|b: u8| b.is_ascii_digit()).set_len(),
+            10
+        );
+    }
+}

@@ -60,6 +60,7 @@ fn main() {
             &format!("e1_ngram_speedup/N={n}"),
             engine.name(),
             doc.len(),
+            n as f64,
             seq_wall,
             tuples,
         );

@@ -34,6 +34,7 @@ fn main() {
         "e2_pubmed_speedup/N=2",
         engine.name(),
         doc.len(),
+        2.0,
         seq_wall,
         rel.len(),
     );

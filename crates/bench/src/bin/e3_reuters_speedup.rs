@@ -34,6 +34,7 @@ fn main() {
         "e3_reuters_speedup",
         engine.name(),
         refs.iter().map(|d| d.len()).sum(),
+        n as f64,
         seq_wall,
         total,
     );

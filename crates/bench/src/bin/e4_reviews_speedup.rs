@@ -33,6 +33,7 @@ fn main() {
         "e4_reviews_speedup",
         engine.name(),
         refs.iter().map(|d| d.len()).sum(),
+        n as f64,
         seq_wall,
         total,
     );

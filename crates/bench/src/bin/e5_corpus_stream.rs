@@ -80,6 +80,7 @@ fn main() {
         "e5_corpus_stream/batch",
         engine.name(),
         total_bytes,
+        docs as f64,
         batch_wall,
         batch_tuples,
     );
@@ -106,6 +107,7 @@ fn main() {
         "e5_corpus_stream/stream",
         engine.name(),
         total_bytes,
+        docs as f64,
         stream_wall,
         stream_tuples,
     );

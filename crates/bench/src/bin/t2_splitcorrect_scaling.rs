@@ -32,10 +32,18 @@ fn main() {
             &format!("t2_splitcorrect_scaling/k={k}"),
             "general",
             0,
+            k as f64,
             dg,
             0,
         );
-        bench_json(&format!("t2_splitcorrect_scaling/k={k}"), "dfvsa", 0, df, 0);
+        bench_json(
+            &format!("t2_splitcorrect_scaling/k={k}"),
+            "dfvsa",
+            0,
+            k as f64,
+            df,
+            0,
+        );
         t.row(&[
             k.to_string(),
             pd.num_states().to_string(),

@@ -81,6 +81,7 @@ fn main() {
             &format!("t3_certification_scaling/needle_k={k}"),
             "antichain",
             0,
+            k as f64,
             da,
             0,
         );
@@ -88,6 +89,7 @@ fn main() {
             &format!("t3_certification_scaling/needle_k={k}"),
             "determinize",
             0,
+            k as f64,
             dd,
             0,
         );
@@ -131,6 +133,7 @@ fn main() {
             &format!("t3_certification_scaling/branch_n={n}"),
             "antichain",
             0,
+            n as f64,
             da,
             0,
         );
@@ -138,6 +141,7 @@ fn main() {
             &format!("t3_certification_scaling/branch_n={n}"),
             "determinize",
             0,
+            n as f64,
             dd,
             0,
         );

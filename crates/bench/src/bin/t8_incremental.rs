@@ -77,6 +77,7 @@ fn main() {
         "t8_incremental/full_eval",
         engine.name(),
         doc.len(),
+        doc.len() as f64,
         seq_wall,
         rel.len(),
     );

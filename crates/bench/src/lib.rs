@@ -37,18 +37,29 @@ pub fn engine_arg() -> splitc_exec::Engine {
 /// Emits one machine-readable benchmark result row on stdout.
 ///
 /// The line format is `BENCH {json}` with the stable schema
-/// `{"bench", "engine", "bytes", "wall_ms", "tuples"}`; the CI
+/// `{"bench", "engine", "bytes", "scale", "wall_ms", "tuples"}`; the CI
 /// `bench-smoke` job greps these lines into the `BENCH_pr.json`
 /// artifact (JSON-lines, one row per line). `bytes` and `tuples` are 0
 /// for benchmarks where they do not apply (e.g. decision-procedure
-/// scaling rows).
-pub fn bench_json(bench: &str, engine: &str, bytes: usize, wall: Duration, tuples: usize) {
+/// scaling rows). `scale` is the row's *problem-size parameter* — the
+/// needle `k` of a scaling family, the N of an N-gram workload, a
+/// document count — so tooling can gate on "the largest scale point"
+/// without parsing bench-name suffixes (t-series rows used to carry
+/// only `bytes: 0`, leaving gates to positional name assumptions).
+pub fn bench_json(
+    bench: &str,
+    engine: &str,
+    bytes: usize,
+    scale: f64,
+    wall: Duration,
+    tuples: usize,
+) {
     debug_assert!(
         !bench.contains('"') && !engine.contains('"'),
         "bench/engine labels must not need JSON escaping"
     );
     println!(
-        "BENCH {{\"bench\":\"{bench}\",\"engine\":\"{engine}\",\"bytes\":{bytes},\"wall_ms\":{:.3},\"tuples\":{tuples}}}",
+        "BENCH {{\"bench\":\"{bench}\",\"engine\":\"{engine}\",\"bytes\":{bytes},\"scale\":{scale},\"wall_ms\":{:.3},\"tuples\":{tuples}}}",
         wall.as_secs_f64() * 1e3
     );
 }

@@ -21,6 +21,7 @@ use crate::engine::ExecSpanner;
 use crate::stream::{Segment, StreamingSplitter};
 use parking_lot::Mutex;
 use splitc_spanner::dense::{DenseCache, DenseCacheStats};
+use splitc_spanner::prefilter::PrefilterStats;
 use splitc_spanner::splitter::CompiledSplitter;
 use splitc_spanner::tuple::{SpanRelation, SpanTuple};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -76,6 +77,10 @@ pub struct CorpusStats {
     /// Aggregated per-worker lazy-DFA cache statistics (all zero under
     /// [`crate::Engine::Nfa`]).
     pub cache: DenseCacheStats,
+    /// Aggregated prefilter statistics: worker-side gate rejections and
+    /// skip-loop jumps (non-zero only under [`crate::Engine::Prefilter`])
+    /// plus the streaming splitter's own skip-loop bytes (any engine).
+    pub prefilter: PrefilterStats,
 }
 
 /// The outcome of a corpus run: one relation per input document (in
@@ -144,6 +149,7 @@ impl CorpusRunner {
         let mut stats = CorpusStats::default();
         let mut partials: Vec<(usize, Vec<SpanTuple>)> = Vec::new();
         let mut cache_stats = DenseCacheStats::default();
+        let mut prefilter_stats = PrefilterStats::default();
 
         let (tx, rx) = sync_channel::<Batch>(self.config.queue_depth.max(1));
         let rx = Mutex::new(rx);
@@ -209,6 +215,7 @@ impl CorpusRunner {
                     .stats
                     .peak_buffered_bytes
                     .max(splitter.peak_buffered_bytes());
+                producer.stats.prefilter.bytes_skipped += splitter.bytes_skipped();
                 for seg in splitter.finish() {
                     producer.segment(di, seg);
                 }
@@ -217,9 +224,10 @@ impl CorpusRunner {
             drop(producer);
 
             for h in handles {
-                let (tuples, cache) = h.join().expect("corpus worker panicked");
+                let (tuples, cache, prefilter) = h.join().expect("corpus worker panicked");
                 partials.extend(tuples);
                 cache_stats = cache_stats.merge(cache);
+                prefilter_stats = prefilter_stats.merge(prefilter);
             }
         });
         assert!(
@@ -228,6 +236,7 @@ impl CorpusRunner {
         );
 
         stats.cache = cache_stats;
+        stats.prefilter = stats.prefilter.merge(prefilter_stats);
         // Deterministic aggregation: `from_tuples` sorts and dedups, so
         // the result is independent of batch and worker scheduling.
         let mut per_doc: Vec<Vec<SpanTuple>> = (0..stats.docs).map(|_| Vec::new()).collect();
@@ -259,8 +268,13 @@ impl CorpusRunner {
         &self,
         rx: &Mutex<Receiver<Batch>>,
         failed: &AtomicBool,
-    ) -> (Vec<(usize, Vec<SpanTuple>)>, DenseCacheStats) {
+    ) -> (
+        Vec<(usize, Vec<SpanTuple>)>,
+        DenseCacheStats,
+        PrefilterStats,
+    ) {
         let mut cache = DenseCache::default();
+        let mut prefilter_stats = PrefilterStats::default();
         let mut out: Vec<(usize, Vec<SpanTuple>)> = Vec::new();
         loop {
             // Hold the lock across `recv`: batches are coarse, so the
@@ -276,9 +290,12 @@ impl CorpusRunner {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let mut local_out: Vec<(usize, Vec<SpanTuple>)> = Vec::new();
                 for (di, seg) in batch.segments {
-                    let local = match self.spanner.dense() {
-                        Some(d) => d.eval_with(&seg.bytes, &mut cache),
-                        None => self.spanner.eval(&seg.bytes),
+                    let local = if let Some(p) = self.spanner.prefilter() {
+                        p.eval_with(&seg.bytes, &mut cache, &mut prefilter_stats)
+                    } else if let Some(d) = self.spanner.dense() {
+                        d.eval_with(&seg.bytes, &mut cache)
+                    } else {
+                        self.spanner.eval(&seg.bytes)
                     };
                     let tuples: Vec<SpanTuple> = local.iter().map(|t| t.shift(seg.span)).collect();
                     if !tuples.is_empty() {
@@ -292,7 +309,7 @@ impl CorpusRunner {
                 Err(_) => failed.store(true, Ordering::Relaxed),
             }
         }
-        (out, cache.stats())
+        (out, cache.stats(), prefilter_stats)
     }
 }
 
@@ -412,6 +429,48 @@ mod tests {
             got.stats.peak_buffered_bytes,
             doc.len()
         );
+    }
+
+    #[test]
+    fn prefilter_engine_matches_and_reports_stats() {
+        // A sparse corpus: only one sentence in many contains a digit.
+        let mut owned: Vec<Vec<u8>> = (0..20)
+            .map(|_| b"plain words only here. nothing to find. still nothing".to_vec())
+            .collect();
+        owned.push(b"the answer is 42. plain tail".to_vec());
+        let refs: Vec<&[u8]> = owned.iter().map(Vec::as_slice).collect();
+        let pat = "(.*[^0-9]|)x{[0-9]+}([^0-9].*|)";
+        let pre = CorpusRunner::new(
+            ExecSpanner::compile_with(&vsa(pat), Engine::Prefilter),
+            splitter::sentences().compile(),
+            CorpusRunnerConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let dense = CorpusRunner::new(
+            ExecSpanner::compile_with(&vsa(pat), Engine::Dense),
+            splitter::sentences().compile(),
+            CorpusRunnerConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let got = pre.run_slices(&refs);
+        assert_eq!(got.relations, dense.run_slices(&refs).relations);
+        let pf = got.stats.prefilter;
+        assert!(
+            pf.bytes_skipped > 500,
+            "most segments should be gate-rejected: {pf:?}"
+        );
+        assert!(pf.candidates >= 1, "the digit sentence is a candidate");
+        assert!(
+            pf.candidates <= 4,
+            "sparse corpus must not flood candidates: {pf:?}"
+        );
+        // Dense runs report no prefilter activity (the streaming
+        // splitter may still skip, but sentences open everywhere).
+        assert_eq!(dense.run_slices(&refs).stats.prefilter.candidates, 0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use splitc_spanner::dense::{DenseConfig, DenseEvsa};
 use splitc_spanner::eval::eval_evsa;
 use splitc_spanner::evsa::EVsa;
+use splitc_spanner::prefilter::PrefilteredEvsa;
 use splitc_spanner::span::Span;
 use splitc_spanner::splitter::Splitter;
 use splitc_spanner::tuple::{SpanRelation, SpanTuple};
@@ -30,6 +31,12 @@ pub enum Engine {
     /// fallback (see [`splitc_spanner::dense`]). The default.
     #[default]
     Dense,
+    /// The dense engine behind a literal prefilter: documents are gated
+    /// by the spanner's required prefix / byte class / minimum match
+    /// length, and lazy-DFA self-loops are crossed by a SWAR skip-loop
+    /// (see [`splitc_spanner::prefilter`]). Falls back to plain dense
+    /// behavior when the analysis finds nothing usable.
+    Prefilter,
 }
 
 impl Engine {
@@ -38,6 +45,7 @@ impl Engine {
         match self {
             Engine::Nfa => "nfa",
             Engine::Dense => "dense",
+            Engine::Prefilter => "prefilter",
         }
     }
 }
@@ -49,7 +57,10 @@ impl std::str::FromStr for Engine {
         match s {
             "nfa" => Ok(Engine::Nfa),
             "dense" => Ok(Engine::Dense),
-            other => Err(format!("unknown engine {other:?} (expected nfa|dense)")),
+            "prefilter" => Ok(Engine::Prefilter),
+            other => Err(format!(
+                "unknown engine {other:?} (expected nfa|dense|prefilter)"
+            )),
         }
     }
 }
@@ -61,6 +72,9 @@ pub struct ExecSpanner {
     /// Dense compilation; `None` for the pure NFA engine. The scan-cache
     /// pool inside hands one lazy-DFA cache to each concurrent worker.
     dense: Option<Arc<DenseEvsa>>,
+    /// Prefiltered compilation; `Some` only for [`Engine::Prefilter`]
+    /// (it embeds its own skip-loop-enabled dense engine).
+    prefilter: Option<Arc<PrefilteredEvsa>>,
 }
 
 impl ExecSpanner {
@@ -78,19 +92,35 @@ impl ExecSpanner {
             vsa.functionalize()
         };
         let evsa = Arc::new(EVsa::from_functional(&f));
-        let dense = match engine {
-            Engine::Nfa => None,
-            Engine::Dense => Some(Arc::new(DenseEvsa::compile(
-                evsa.clone(),
-                DenseConfig::default(),
-            ))),
+        let (dense, prefilter) = match engine {
+            Engine::Nfa => (None, None),
+            Engine::Dense => (
+                Some(Arc::new(DenseEvsa::compile(
+                    evsa.clone(),
+                    DenseConfig::default(),
+                ))),
+                None,
+            ),
+            Engine::Prefilter => (
+                None,
+                Some(Arc::new(PrefilteredEvsa::compile(
+                    evsa.clone(),
+                    DenseConfig::default(),
+                ))),
+            ),
         };
-        ExecSpanner { evsa, dense }
+        ExecSpanner {
+            evsa,
+            dense,
+            prefilter,
+        }
     }
 
     /// The engine this spanner was compiled for.
     pub fn engine(&self) -> Engine {
-        if self.dense.is_some() {
+        if self.prefilter.is_some() {
+            Engine::Prefilter
+        } else if self.dense.is_some() {
             Engine::Dense
         } else {
             Engine::Nfa
@@ -109,8 +139,21 @@ impl ExecSpanner {
         self.dense.as_ref()
     }
 
+    /// The prefiltered compilation, when this spanner uses
+    /// [`Engine::Prefilter`]. Exposed for callers that manage their own
+    /// per-worker caches and [`PrefilterStats`] accumulators (the corpus
+    /// runner).
+    ///
+    /// [`PrefilterStats`]: splitc_spanner::prefilter::PrefilterStats
+    pub(crate) fn prefilter(&self) -> Option<&Arc<PrefilteredEvsa>> {
+        self.prefilter.as_ref()
+    }
+
     /// Evaluates on one document.
     pub fn eval(&self, doc: &[u8]) -> SpanRelation {
+        if let Some(p) = &self.prefilter {
+            return p.eval(doc);
+        }
         match &self.dense {
             Some(d) => d.eval(doc),
             None => eval_evsa(&self.evsa, doc),
@@ -345,7 +388,33 @@ mod tests {
         }
         assert_eq!("nfa".parse::<Engine>().unwrap(), Engine::Nfa);
         assert_eq!("dense".parse::<Engine>().unwrap(), Engine::Dense);
+        assert_eq!("prefilter".parse::<Engine>().unwrap(), Engine::Prefilter);
         assert!("turbo".parse::<Engine>().is_err());
+    }
+
+    #[test]
+    fn prefilter_engine_agrees_with_dense() {
+        // Sparse-match extractor: most sentences are gate-rejected, and
+        // the relations still match the other engines exactly.
+        let pat = "(.*[^0-9]|)x{[0-9]+}([^0-9].*|)";
+        let p = Rgx::parse(pat).unwrap().to_vsa().unwrap();
+        let dense = ExecSpanner::compile_with(&p, Engine::Dense);
+        let pre = ExecSpanner::compile_with(&p, Engine::Prefilter);
+        assert_eq!(pre.engine(), Engine::Prefilter);
+        assert_eq!(pre.engine().name(), "prefilter");
+        let split: SplitFn = Arc::new(native::sentences);
+        for doc in [
+            b"no numbers anywhere. plain words. more text".as_slice(),
+            b"answer 42. or 7 maybe. none here",
+            b"",
+            b"...",
+        ] {
+            assert_eq!(pre.eval(doc), dense.eval(doc));
+            assert_eq!(
+                evaluate_split(&pre, &split, doc, 2),
+                evaluate_split(&dense, &split, doc, 2)
+            );
+        }
     }
 
     #[test]

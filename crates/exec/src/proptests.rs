@@ -105,9 +105,15 @@ proptest! {
         workers in 0usize..5,
         batch_bytes in 1usize..32,
         chunk_bytes in 1usize..16,
-        dense in 0usize..2,
+        engine_pick in 0usize..3,
     ) {
-        let engine = if dense == 1 { Engine::Dense } else { Engine::Nfa };
+        // All three engines, including Prefilter (gate + skip-loop),
+        // over random chunkings down to 1-byte streaming chunks.
+        let engine = match engine_pick {
+            0 => Engine::Nfa,
+            1 => Engine::Dense,
+            _ => Engine::Prefilter,
+        };
         let vsa = Rgx::parse(PATTERNS[pi]).unwrap().to_vsa().unwrap();
         let spanner = ExecSpanner::compile_with(&vsa, engine);
         let s = splitter::sentences();

@@ -100,6 +100,13 @@ impl StreamingSplitter {
         self.state.pos()
     }
 
+    /// Bytes the incremental splitter resolved through its skip-loop
+    /// scanner instead of phase-DFA steps (see
+    /// `splitc_spanner::stream::SplitterState::bytes_skipped`).
+    pub fn bytes_skipped(&self) -> u64 {
+        self.state.bytes_skipped()
+    }
+
     /// Slices emitted spans out of the buffer into owned segments.
     fn detach(&self, spans: Vec<Span>) -> Vec<Segment> {
         spans

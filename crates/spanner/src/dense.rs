@@ -26,11 +26,15 @@
 //! forward search of [`crate::eval`] over the dense tables.
 
 use crate::byteset::ByteSet;
-use crate::eval::{self, forward_enumerate, post_states, EdgeCandidates, EdgeSource, ViableSource};
+use crate::eval::{
+    self, forward_enumerate_scratch, post_states, EdgeCandidates, EdgeSource, EnumScratch,
+    ViableSource,
+};
 use crate::evsa::EVsa;
 use crate::tuple::SpanRelation;
 use splitc_automata::classes::{ByteClassBuilder, ByteClasses};
 use splitc_automata::nfa::StateId;
+use splitc_automata::scan::ByteFinder;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -52,6 +56,17 @@ pub struct DenseConfig {
     /// When a document scan would exceed it, the engine falls back to
     /// the exact NFA simulation for that scan (results are unchanged).
     pub max_cache_states: usize,
+    /// Enables the **skip-loop**: when a scan detects that the lazy DFA
+    /// sits in a self-loop (the successor power-set state equals the
+    /// current one), the engine probes which byte classes stay in the
+    /// loop and jumps via a SWAR scanner
+    /// ([`splitc_automata::scan::ByteFinder`]) to the next escape byte
+    /// instead of stepping the transition table byte by byte. Exact by
+    /// construction — skipped positions provably keep the same DFA state
+    /// — so the flag changes speed only, never results (the prefilter
+    /// differential suite asserts this). Off by default; the prefilter
+    /// engine ([`crate::prefilter`]) turns it on.
+    pub skip_loop: bool,
 }
 
 impl Default for DenseConfig {
@@ -61,12 +76,20 @@ impl Default for DenseConfig {
         // (each state costs `⌈|Q|/64⌉` words + one row of `u32`s).
         DenseConfig {
             max_cache_states: 8192,
+            skip_loop: false,
         }
     }
 }
 
 /// Sentinel for a not-yet-computed lazy-DFA transition.
 const UNEXPLORED: u32 = u32::MAX;
+
+/// Consecutive self-steps a scan must observe before it consults the
+/// skip-loop scanner. Match-dense inputs oscillate between states every
+/// few bytes; gating on a streak keeps their overhead to one counter
+/// increment per byte, while genuinely flat regions reach the threshold
+/// immediately and jump the rest in one scan.
+const SKIP_STREAK: u32 = 8;
 
 /// Transition-level statistics of one [`DenseCache`], aggregated over
 /// both lazy-DFA directions.
@@ -114,6 +137,10 @@ struct LazyDfa {
     ids: HashMap<Box<[u64]>, u32>,
     /// `rows[id * num_classes + class]` → successor id or [`UNEXPLORED`].
     rows: Vec<u32>,
+    /// Memoized skip-loop probes per interned state: `Some(finder)` =
+    /// the state self-loops on most bytes and the finder locates the
+    /// escape bytes; `None` = skipping is not worthwhile here.
+    loops: HashMap<u32, Option<ByteFinder>>,
     /// Steps answered from a memoized row.
     hits: u64,
     /// Steps that computed a successor.
@@ -121,12 +148,14 @@ struct LazyDfa {
 }
 
 impl LazyDfa {
-    /// Drops the interned states and rows; the hit/miss counters survive
-    /// (they describe the scan history, not the current contents).
+    /// Drops the interned states, rows and loop probes; the hit/miss
+    /// counters survive (they describe the scan history, not the current
+    /// contents).
     fn clear(&mut self) {
         self.sets.clear();
         self.ids.clear();
         self.rows.clear();
+        self.loops.clear();
     }
 }
 
@@ -140,6 +169,12 @@ pub struct DenseCache {
     bwd: LazyDfa,
     /// Backward-DFA state id per document position (`len = doc.len()+1`).
     ids_buf: Vec<u32>,
+    /// Bytes resolved by the skip-loop scanner instead of table steps.
+    skipped: u64,
+    /// Reusable forward-enumeration buffers (variable tables, undo
+    /// trail, frame stack), shared across every document this cache
+    /// evaluates.
+    scratch: EnumScratch,
 }
 
 impl DenseCache {
@@ -151,6 +186,14 @@ impl DenseCache {
             hits: self.fwd.hits + self.bwd.hits,
             misses: self.fwd.misses + self.bwd.misses,
         }
+    }
+
+    /// Bytes this cache resolved through the skip-loop scanner instead
+    /// of stepping the transition table (0 unless
+    /// [`DenseConfig::skip_loop`] is on). Monotone across scans, like
+    /// the hit/miss counters.
+    pub fn skipped_bytes(&self) -> u64 {
+        self.skipped
     }
 }
 
@@ -362,8 +405,72 @@ impl DenseEvsa {
         Some(nid)
     }
 
+    /// The raw successor power-set of `set` on class `c`, computed into
+    /// `out` without interning (so skip-loop probing can never trigger a
+    /// cache-bound fallback that plain scanning would not have hit).
+    fn successor_set(&self, set: &[u64], c: usize, backward: bool, out: &mut [u64]) {
+        out.iter_mut().for_each(|w| *w = 0);
+        let (off, pool) = if backward {
+            (&self.pred_off, &self.pred_pool)
+        } else {
+            (&self.succ_off, &self.succ_pool)
+        };
+        for (w, &word) in set.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let q = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let base = q * self.nc + c;
+                for &t in &pool[off[base] as usize..off[base + 1] as usize] {
+                    out[t as usize >> 6] |= 1u64 << (t & 63);
+                }
+            }
+        }
+    }
+
+    /// Skip-loop probe for interned state `id`: determines the byte
+    /// classes on which the state steps to itself and — when the stay
+    /// set covers most of the alphabet — compiles a SWAR finder for the
+    /// *escape* bytes. Memoized per state in the cache; invalidated with
+    /// the cache on overflow.
+    fn escape_finder<'a>(
+        &self,
+        dfa: &'a mut LazyDfa,
+        id: u32,
+        backward: bool,
+    ) -> Option<&'a ByteFinder> {
+        if !dfa.loops.contains_key(&id) {
+            let set = &dfa.sets[id as usize];
+            let mut stay = ByteSet::EMPTY;
+            let mut out = vec![0u64; self.words];
+            for c in 0..self.nc {
+                self.successor_set(set, c, backward, &mut out);
+                if out[..] == set[..] {
+                    for b in self.classes.bytes_of(c) {
+                        stay.insert(b);
+                    }
+                }
+            }
+            // Skipping pays when escapes are rare; a state that escapes
+            // on most bytes would bounce out of the scanner immediately,
+            // so mark it not-worthwhile and never probe it again.
+            let info = if stay.len() >= 192 {
+                Some(ByteFinder::from_predicate(|b| !stay.contains(b)))
+            } else {
+                None
+            };
+            dfa.loops.insert(id, info);
+        }
+        dfa.loops.get(&id).expect("probed above").as_ref()
+    }
+
     /// Runs the backward lazy DFA over `doc`, filling `cache.ids_buf`
     /// with the viability-set id per position. `None` = cache bound hit.
+    ///
+    /// With [`DenseConfig::skip_loop`] on, a detected self-loop is
+    /// resolved by scanning *backwards* for the previous escape byte
+    /// ([`ByteFinder::rfind`]) and bulk-filling the id buffer for the
+    /// provably-unchanged positions in between.
     fn lazy_viability(&self, doc: &[u8], cache: &mut DenseCache) -> Option<()> {
         let n = doc.len();
         let fid = self.intern(&mut cache.bwd, self.finals.clone())?;
@@ -371,10 +478,38 @@ impl DenseEvsa {
         cache.ids_buf.resize(n + 1, 0);
         cache.ids_buf[n] = fid;
         let mut cur = fid;
-        for i in (0..n).rev() {
-            let c = self.classes.class_of(doc[i]);
-            cur = self.step(&mut cache.bwd, cur, c, true)?;
-            cache.ids_buf[i] = cur;
+        // `i` = number of unconsumed document bytes; byte `doc[i-1]` is
+        // processed next (the pass runs right to left).
+        let mut i = n;
+        let mut streak = 0u32;
+        while i > 0 {
+            let c = self.classes.class_of(doc[i - 1]);
+            let next = self.step(&mut cache.bwd, cur, c, true)?;
+            cache.ids_buf[i - 1] = next;
+            i -= 1;
+            streak = if next == cur { streak + 1 } else { 0 };
+            if self.config.skip_loop && streak >= SKIP_STREAK && i > 0 {
+                streak = 0;
+                let jump = self
+                    .escape_finder(&mut cache.bwd, cur, true)
+                    .map(|f| f.rfind(&doc[..i]));
+                match jump {
+                    // Bytes after the last escape all stay in the loop.
+                    Some(Some(j)) => {
+                        cache.ids_buf[j + 1..i].fill(cur);
+                        cache.skipped += (i - (j + 1)) as u64;
+                        i = j + 1;
+                    }
+                    // No escape byte left: the rest of the pass is flat.
+                    Some(None) => {
+                        cache.ids_buf[..i].fill(cur);
+                        cache.skipped += i as u64;
+                        i = 0;
+                    }
+                    None => {}
+                }
+            }
+            cur = next;
         }
         Some(())
     }
@@ -400,13 +535,27 @@ impl DenseEvsa {
             // later (smaller) scans start fresh.
             cache.bwd.clear();
             let viable = eval::viability(&self.evsa, doc);
-            return forward_enumerate(&self.evsa, doc, &self.post, &viable, &DenseEdges(self));
+            return forward_enumerate_scratch(
+                &self.evsa,
+                doc,
+                &self.post,
+                &viable,
+                &DenseEdges(self),
+                &mut cache.scratch,
+            );
         }
         let viable = LazyViable {
             ids: &cache.ids_buf,
             sets: &cache.bwd.sets,
         };
-        forward_enumerate(&self.evsa, doc, &self.post, &viable, &DenseEdges(self))
+        forward_enumerate_scratch(
+            &self.evsa,
+            doc,
+            &self.post,
+            &viable,
+            &DenseEdges(self),
+            &mut cache.scratch,
+        )
     }
 
     /// Boolean acceptance (at least one output tuple), equal to
@@ -418,7 +567,9 @@ impl DenseEvsa {
         out
     }
 
-    /// Boolean acceptance with an explicit scan cache.
+    /// Boolean acceptance with an explicit scan cache. With
+    /// [`DenseConfig::skip_loop`] on, a detected forward self-loop jumps
+    /// via [`ByteFinder::find`] to the next escape byte.
     pub fn accepts_with(&self, doc: &[u8], cache: &mut DenseCache) -> bool {
         if self.ns == 0 {
             return false;
@@ -427,13 +578,35 @@ impl DenseEvsa {
             cache.fwd.clear();
             return eval::accepts_evsa(&self.evsa, doc);
         };
-        for &b in doc {
-            let c = self.classes.class_of(b);
+        let n = doc.len();
+        let mut pos = 0;
+        let mut streak = 0u32;
+        while pos < n {
+            let c = self.classes.class_of(doc[pos]);
             match self.step(&mut cache.fwd, cur, c, false) {
                 Some(id) => {
+                    streak = if id == cur { streak + 1 } else { 0 };
                     cur = id;
+                    pos += 1;
                     if cache.fwd.sets[cur as usize].iter().all(|&w| w == 0) {
                         return false;
+                    }
+                    if self.config.skip_loop && streak >= SKIP_STREAK && pos < n {
+                        streak = 0;
+                        let jump = self
+                            .escape_finder(&mut cache.fwd, cur, false)
+                            .map(|f| f.find(&doc[pos..]));
+                        match jump {
+                            Some(Some(j)) => {
+                                cache.skipped += j as u64;
+                                pos += j;
+                            }
+                            Some(None) => {
+                                cache.skipped += (n - pos) as u64;
+                                pos = n;
+                            }
+                            None => {}
+                        }
                     }
                 }
                 None => {
@@ -534,12 +707,49 @@ mod tests {
             e.clone(),
             DenseConfig {
                 max_cache_states: 1,
+                ..DenseConfig::default()
             },
         );
         let doc = b"aa b aa";
         assert_eq!(tiny.eval(doc), eval_evsa(&e, doc));
         assert_eq!(tiny.accepts(doc), accepts_evsa(&e, doc));
         assert_eq!(tiny.eval(b""), eval_evsa(&e, b""));
+    }
+
+    #[test]
+    fn skip_loop_is_exact_and_skips() {
+        // A needle in a long flat haystack: the backward viability pass
+        // must jump the context via the scanner, with identical results.
+        let e = compile(".*x{q+}.*");
+        let plain = DenseEvsa::compile(e.clone(), DenseConfig::default());
+        let skipping = DenseEvsa::compile(
+            e.clone(),
+            DenseConfig {
+                skip_loop: true,
+                ..DenseConfig::default()
+            },
+        );
+        let mut doc = vec![b'a'; 2048];
+        doc[777] = b'q';
+        let mut cache = DenseCache::default();
+        assert_eq!(
+            skipping.eval_with(&doc, &mut cache),
+            plain.eval(&doc),
+            "skip-loop must not change results"
+        );
+        assert!(
+            cache.skipped_bytes() > 1000,
+            "expected a large jump, got {}",
+            cache.skipped_bytes()
+        );
+        let skipped_after_eval = cache.skipped_bytes();
+        assert_eq!(skipping.accepts_with(&doc, &mut cache), plain.accepts(&doc));
+        assert!(cache.skipped_bytes() > skipped_after_eval);
+        // Matchless documents and tiny documents behave identically too.
+        for doc in [vec![b'a'; 100], vec![], vec![b'q']] {
+            assert_eq!(skipping.eval_with(&doc, &mut cache), plain.eval(&doc));
+            assert_eq!(skipping.accepts_with(&doc, &mut cache), plain.accepts(&doc));
+        }
     }
 
     #[test]

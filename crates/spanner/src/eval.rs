@@ -184,16 +184,56 @@ pub fn eval_evsa(evsa: &EVsa, doc: &[u8]) -> SpanRelation {
     forward_enumerate(evsa, doc, &post, &viable, &AllEdges(evsa))
 }
 
+/// One suspended position of the iterative forward search.
+#[derive(Debug)]
+pub(crate) struct Frame {
+    pos: usize,
+    state: StateId,
+    edge: usize,
+    trail_mark: usize,
+    emitted_finals: bool,
+}
+
+/// Reusable buffers of [`forward_enumerate_scratch`]. The search used to
+/// allocate its variable tables, undo trail and frame stack afresh on
+/// every call — one set of allocations *per evaluated segment* in the
+/// corpus pipelines, where segments are tiny and plentiful. A scratch
+/// lives in each [`crate::dense::DenseCache`], so per-worker evaluation
+/// reuses the grown buffers across every segment the worker touches.
+#[derive(Debug, Default)]
+pub(crate) struct EnumScratch {
+    opens: Vec<usize>,
+    closes: Vec<usize>,
+    /// Trail of (var index, is_open, old value) for undo.
+    trail: Vec<(usize, bool, usize)>,
+    stack: Vec<Frame>,
+}
+
 /// The iterative forward search shared by the NFA and dense engines:
 /// enumerates tuples, entering only viable states, with the post-state
 /// cutoff. `post` must come from [`post_states`]; `viable` and `edges`
-/// select the engine.
+/// select the engine. Allocates fresh scratch buffers; hot callers use
+/// [`forward_enumerate_scratch`] with a long-lived [`EnumScratch`].
 pub(crate) fn forward_enumerate<V: ViableSource, E: EdgeSource>(
     evsa: &EVsa,
     doc: &[u8],
     post: &[bool],
     viable: &V,
     edges: &E,
+) -> SpanRelation {
+    forward_enumerate_scratch(evsa, doc, post, viable, edges, &mut EnumScratch::default())
+}
+
+/// [`forward_enumerate`] over caller-provided scratch buffers, reused
+/// across calls (the output tuple vector is the only per-call
+/// allocation — it is handed to the returned relation).
+pub(crate) fn forward_enumerate_scratch<V: ViableSource, E: EdgeSource>(
+    evsa: &EVsa,
+    doc: &[u8],
+    post: &[bool],
+    viable: &V,
+    edges: &E,
+    scratch: &mut EnumScratch,
 ) -> SpanRelation {
     let n = doc.len();
     if !viable.viable(0, evsa.start()) {
@@ -202,20 +242,19 @@ pub(crate) fn forward_enumerate<V: ViableSource, E: EdgeSource>(
     let nv = evsa.vars().len();
 
     const UNSET: usize = usize::MAX;
-    let mut opens = vec![UNSET; nv];
-    let mut closes = vec![UNSET; nv];
+    let EnumScratch {
+        opens,
+        closes,
+        trail,
+        stack,
+    } = scratch;
+    opens.clear();
+    opens.resize(nv, UNSET);
+    closes.clear();
+    closes.resize(nv, UNSET);
+    trail.clear();
+    stack.clear();
     let mut out: Vec<SpanTuple> = Vec::new();
-
-    // Trail of (var index, is_open, old value) for undo.
-    let mut trail: Vec<(usize, bool, usize)> = Vec::new();
-
-    struct Frame {
-        pos: usize,
-        state: StateId,
-        edge: usize,
-        trail_mark: usize,
-        emitted_finals: bool,
-    }
 
     fn apply_block(
         block: &[VarOp],
@@ -266,17 +305,17 @@ pub(crate) fn forward_enumerate<V: ViableSource, E: EdgeSource>(
 
     // Post-state cutoff at the root (Boolean spanners).
     if post[evsa.start() as usize] {
-        emit(&opens, &closes, &mut out);
+        emit(opens, closes, &mut out);
         return SpanRelation::from_tuples(out);
     }
 
-    let mut stack = vec![Frame {
+    stack.push(Frame {
         pos: 0,
         state: evsa.start(),
         edge: 0,
         trail_mark: 0,
         emitted_finals: false,
-    }];
+    });
 
     while let Some(frame) = stack.last_mut() {
         let pos = frame.pos;
@@ -287,9 +326,9 @@ pub(crate) fn forward_enumerate<V: ViableSource, E: EdgeSource>(
             if pos == n {
                 for block in evsa.final_blocks(state) {
                     let mark = trail.len();
-                    apply_block(block, pos, &mut opens, &mut closes, &mut trail);
-                    emit(&opens, &closes, &mut out);
-                    undo(&mut trail, mark, &mut opens, &mut closes);
+                    apply_block(block, pos, opens, closes, trail);
+                    emit(opens, closes, &mut out);
+                    undo(trail, mark, opens, closes);
                 }
             }
         }
@@ -297,7 +336,7 @@ pub(crate) fn forward_enumerate<V: ViableSource, E: EdgeSource>(
         if pos == n {
             let mark = frame.trail_mark;
             stack.pop();
-            undo(&mut trail, mark, &mut opens, &mut closes);
+            undo(trail, mark, opens, closes);
             continue;
         }
 
@@ -314,12 +353,12 @@ pub(crate) fn forward_enumerate<V: ViableSource, E: EdgeSource>(
             }
             let mark = trail.len();
             // Block operations happen at the boundary *before* the byte.
-            apply_block(block, pos, &mut opens, &mut closes, &mut trail);
+            apply_block(block, pos, opens, closes, trail);
             if post[*r as usize] {
                 // The tuple is fully determined and acceptance is viable:
                 // emit and cut the run (trailing context costs O(1)).
-                emit(&opens, &closes, &mut out);
-                undo(&mut trail, mark, &mut opens, &mut closes);
+                emit(opens, closes, &mut out);
+                undo(trail, mark, opens, closes);
                 continue;
             }
             stack.push(Frame {
@@ -335,7 +374,7 @@ pub(crate) fn forward_enumerate<V: ViableSource, E: EdgeSource>(
         if !advanced {
             let mark = stack.last().unwrap().trail_mark;
             stack.pop();
-            undo(&mut trail, mark, &mut opens, &mut closes);
+            undo(trail, mark, opens, closes);
         }
     }
 
@@ -351,9 +390,13 @@ pub fn accepts_evsa(evsa: &EVsa, doc: &[u8]) -> bool {
         return false;
     }
     let mut cur = vec![false; ns];
+    // Double-buffered frontier: both vectors are allocated once and
+    // swapped per byte (the old code allocated a fresh `next` per
+    // position).
+    let mut next = vec![false; ns];
     cur[evsa.start() as usize] = true;
     for &b in doc {
-        let mut next = vec![false; ns];
+        next.fill(false);
         let mut any = false;
         for (q, &live) in cur.iter().enumerate() {
             if !live {
@@ -369,7 +412,7 @@ pub fn accepts_evsa(evsa: &EVsa, doc: &[u8]) -> bool {
         if !any {
             return false;
         }
-        cur = next;
+        std::mem::swap(&mut cur, &mut next);
     }
     (0..ns).any(|q| cur[q] && !evsa.final_blocks(q as StateId).is_empty())
 }

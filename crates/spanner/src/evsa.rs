@@ -394,6 +394,16 @@ impl EVsa {
         crate::dense::DenseEvsa::compile(Arc::new(self.clone()), config)
     }
 
+    /// Compiles a shared copy of this automaton for the prefiltered
+    /// engine (literal analysis + skip-loop over the dense engine, see
+    /// [`crate::prefilter`]).
+    pub fn compile_prefilter(
+        &self,
+        config: crate::dense::DenseConfig,
+    ) -> crate::prefilter::PrefilteredEvsa {
+        crate::prefilter::PrefilteredEvsa::compile(Arc::new(self.clone()), config)
+    }
+
     /// Whether the normalized expansion would be deterministic: at most
     /// one continuation per (state, next extended symbol). This matches
     /// the paper's dfVSA after conversion.

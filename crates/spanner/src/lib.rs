@@ -37,6 +37,11 @@
 //!   tables and a memory-bounded lazy-DFA cache accelerating acceptance,
 //!   the viability pass, and compiled splitters, with exact fallback to
 //!   the NFA engine.
+//! * [`prefilter`] — literal prefilters over the dense engine: a
+//!   per-spanner analysis (minimum match length, required prefix
+//!   literal, required byte class) gates documents before any DFA step,
+//!   and the lazy DFA's skip-loop crosses `Σ*` contexts with a SWAR
+//!   scanner; trivial analyses fall back to plain dense evaluation.
 //! * [`stream`] — incremental splitter simulation: a forward-only step
 //!   API ([`stream::SplitterState`]) emitting split spans chunk by chunk
 //!   without materializing the document, behind the streaming corpus
@@ -52,6 +57,7 @@ pub mod equiv;
 pub mod eval;
 pub mod evsa;
 pub mod ext;
+pub mod prefilter;
 pub mod refword;
 pub mod rgx;
 pub mod span;
@@ -67,6 +73,7 @@ pub use equiv::{
     CheckStrategy, SpannerCheck,
 };
 pub use evsa::EVsa;
+pub use prefilter::{PrefilterAnalysis, PrefilterGate, PrefilterStats, PrefilteredEvsa};
 pub use rgx::Rgx;
 pub use span::Span;
 pub use splitter::Splitter;

@@ -1,0 +1,622 @@
+//! Literal prefilters for spanner evaluation.
+//!
+//! The dense engine ([`crate::dense`]) made the per-byte cost of
+//! evaluation nearly constant; this module attacks the *number of bytes
+//! that pay it*. Real corpora are match-sparse — most sentences of a log
+//! or wiki dump contain no transaction, no number, no entity — yet the
+//! dense engine still walks its lazy DFA over every byte of every
+//! segment. A [`PrefilteredEvsa`] answers most of those scans without
+//! touching the DFA at all:
+//!
+//! 1. **Analysis** ([`PrefilterAnalysis::analyze`]) runs once per
+//!    compiled spanner and extracts three document-level facts from the
+//!    block-normal-form automaton: the *minimum match length* (shortest
+//!    accepted document), the *required prefix literal* (bytes every
+//!    accepted document must start with), and a *required byte class* (a
+//!    byte-class of the automaton's alphabet partition that every
+//!    accepted document must contain — verified by an emptiness check of
+//!    the automaton restricted to the class's complement).
+//! 2. **Gate** ([`PrefilterGate`]) compiles those facts into `O(1)` /
+//!    one-SWAR-scan document rejection tests: too short → empty relation;
+//!    wrong prefix → empty relation; no required byte present
+//!    ([`splitc_automata::scan::ByteFinder`]) → empty relation. Only
+//!    documents that survive — the *candidates* — reach the DFA.
+//! 3. **Skip-loop** — candidates are evaluated by the dense engine with
+//!    [`DenseConfig::skip_loop`] enabled, so `Σ*`-style contexts are
+//!    crossed by the scanner instead of the transition table.
+//!
+//! Every test is conservative (may pass a non-matching document, never
+//! rejects a matching one), so the engine is exact: a spanner whose
+//! analysis finds nothing useful (`PrefilterAnalysis::is_trivial`)
+//! degrades to plain dense evaluation automatically — the fallback
+//! invariant the differential suites assert, and the reason the
+//! prefilter engine never loses more than scanner noise on match-dense
+//! workloads.
+
+use crate::byteset::ByteSet;
+use crate::dense::{DenseCache, DenseConfig, DenseEvsa};
+use crate::evsa::EVsa;
+use crate::tuple::SpanRelation;
+use splitc_automata::classes::ByteClassBuilder;
+use splitc_automata::nfa::StateId;
+use splitc_automata::scan::ByteFinder;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Longest required-prefix literal the analysis extracts.
+const MAX_PREFIX: usize = 16;
+
+/// Largest required-byte-set size worth scanning for: a set covering
+/// more than half the alphabet rejects almost nothing, so the gate
+/// drops it rather than paying a scan per document.
+const MAX_REQUIRED_BYTES: usize = 128;
+
+/// Counters of one prefiltered evaluation stream, surfaced per corpus
+/// run in `splitc_exec::CorpusStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefilterStats {
+    /// Bytes never stepped through a DFA table: documents rejected
+    /// wholesale by the gate plus bytes jumped by the skip-loop scanner.
+    pub bytes_skipped: u64,
+    /// Documents that passed the gate and were handed to the DFA.
+    pub candidates: u64,
+    /// Candidates whose evaluation produced no tuple — the gate's false
+    /// positives (a high rate means the analysis is too coarse for the
+    /// workload).
+    pub false_candidates: u64,
+}
+
+impl PrefilterStats {
+    /// Component-wise sum (for aggregating per-worker stats).
+    pub fn merge(self, other: PrefilterStats) -> PrefilterStats {
+        PrefilterStats {
+            bytes_skipped: self.bytes_skipped + other.bytes_skipped,
+            candidates: self.candidates + other.candidates,
+            false_candidates: self.false_candidates + other.false_candidates,
+        }
+    }
+}
+
+/// Document-level facts extracted from a block-normal-form automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefilterAnalysis {
+    /// Length of the shortest accepted document; `usize::MAX` when the
+    /// language is empty (every document is rejected).
+    pub min_len: usize,
+    /// Bytes every accepted document starts with (may be empty).
+    pub prefix: Vec<u8>,
+    /// A byte set every accepted document intersects, when the analysis
+    /// found a selective one (at most `MAX_REQUIRED_BYTES` bytes).
+    pub required: Option<ByteSet>,
+}
+
+impl PrefilterAnalysis {
+    /// Analyzes `evsa`. Cost is a handful of BFS passes over the
+    /// automaton — negligible next to compilation.
+    pub fn analyze(evsa: &EVsa) -> PrefilterAnalysis {
+        let min_len = min_match_len(evsa);
+        if min_len == 0 {
+            // The empty document is accepted: nothing is required.
+            return PrefilterAnalysis {
+                min_len,
+                prefix: Vec::new(),
+                required: None,
+            };
+        }
+        PrefilterAnalysis {
+            min_len,
+            prefix: if min_len == usize::MAX {
+                Vec::new()
+            } else {
+                required_prefix(evsa)
+            },
+            required: if min_len == usize::MAX {
+                None
+            } else {
+                required_byteset(evsa)
+            },
+        }
+    }
+
+    /// Whether the analysis found nothing a gate could use — the
+    /// documented fallback condition: a trivial analysis makes
+    /// [`PrefilteredEvsa`] behave exactly like the dense engine (plus
+    /// the skip-loop).
+    pub fn is_trivial(&self) -> bool {
+        self.min_len == 0 && self.prefix.is_empty() && self.required.is_none()
+    }
+
+    /// Compiles the analysis into a document gate.
+    pub fn gate(&self) -> PrefilterGate {
+        PrefilterGate {
+            min_len: self.min_len,
+            prefix: self.prefix.clone(),
+            required: self.required.as_ref().map(|set| {
+                let set = *set;
+                ByteFinder::from_predicate(move |b| set.contains(b))
+            }),
+        }
+    }
+}
+
+/// Length of the shortest accepted document: BFS over byte transitions
+/// (blocks are free), `usize::MAX` when no accepting configuration is
+/// reachable.
+fn min_match_len(evsa: &EVsa) -> usize {
+    let ns = evsa.num_states();
+    if ns == 0 {
+        return usize::MAX;
+    }
+    let mut dist = vec![usize::MAX; ns];
+    let mut queue = VecDeque::new();
+    dist[evsa.start() as usize] = 0;
+    queue.push_back(evsa.start());
+    let mut best = usize::MAX;
+    while let Some(q) = queue.pop_front() {
+        let d = dist[q as usize];
+        if d >= best {
+            continue;
+        }
+        if !evsa.final_blocks(q).is_empty() {
+            best = best.min(d);
+            continue;
+        }
+        for (_, mask, r) in evsa.transitions_from(q) {
+            if !mask.is_empty() && dist[*r as usize] == usize::MAX {
+                dist[*r as usize] = d + 1;
+                queue.push_back(*r);
+            }
+        }
+    }
+    best
+}
+
+/// The longest literal (capped at [`MAX_PREFIX`]) every accepted
+/// document starts with: follow the frontier from the start state while
+/// no frontier state accepts and all outgoing byte sets agree on a
+/// single byte.
+fn required_prefix(evsa: &EVsa) -> Vec<u8> {
+    let mut prefix = Vec::new();
+    let mut frontier: Vec<StateId> = vec![evsa.start()];
+    while prefix.len() < MAX_PREFIX {
+        if frontier.iter().any(|&q| !evsa.final_blocks(q).is_empty()) {
+            break; // a document may end here
+        }
+        let mut union = ByteSet::EMPTY;
+        for &q in &frontier {
+            for (_, mask, _) in evsa.transitions_from(q) {
+                union = union.or(mask);
+            }
+        }
+        if union.len() != 1 {
+            break;
+        }
+        let b = union.first().expect("non-empty union");
+        prefix.push(b);
+        let mut next: Vec<StateId> = Vec::new();
+        for &q in &frontier {
+            for (_, mask, r) in evsa.transitions_from(q) {
+                if mask.contains(b) && !next.contains(r) {
+                    next.push(*r);
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break; // unreachable for a non-empty language, but be safe
+        }
+    }
+    prefix
+}
+
+/// Searches the automaton's byte-class partition for a *required* class
+/// union: a set of bytes `B` such that the automaton restricted to
+/// transitions avoidable without `B` reaches no accepting state — i.e.
+/// every accepted (non-empty-checked by the caller) document contains a
+/// byte of `B`. Returns the smallest selective class found.
+fn required_byteset(evsa: &EVsa) -> Option<ByteSet> {
+    let mut builder = ByteClassBuilder::new();
+    for m in evsa.byte_masks() {
+        builder.add_set(|b| m.contains(b));
+    }
+    let classes = builder.build();
+    let mut best: Option<ByteSet> = None;
+    for c in 0..classes.num_classes() {
+        let mut bytes = ByteSet::EMPTY;
+        for b in classes.bytes_of(c) {
+            bytes.insert(b);
+        }
+        if bytes.len() > MAX_REQUIRED_BYTES {
+            continue;
+        }
+        if let Some(prev) = &best {
+            if bytes.len() >= prev.len() {
+                continue; // only interested in a more selective class
+            }
+        }
+        if class_is_required(evsa, &bytes) {
+            best = Some(bytes);
+        }
+    }
+    best
+}
+
+/// Whether every accepted document contains a byte of `bytes`:
+/// reachability from the start over transitions whose mask has at least
+/// one byte *outside* `bytes`; required iff no reachable state accepts.
+fn class_is_required(evsa: &EVsa, bytes: &ByteSet) -> bool {
+    let avoid = bytes.complement();
+    let ns = evsa.num_states();
+    let mut seen = vec![false; ns];
+    let mut queue = VecDeque::new();
+    seen[evsa.start() as usize] = true;
+    queue.push_back(evsa.start());
+    while let Some(q) = queue.pop_front() {
+        if !evsa.final_blocks(q).is_empty() {
+            return false; // an accepting run avoiding `bytes` exists
+        }
+        for (_, mask, r) in evsa.transitions_from(q) {
+            if !mask.and(&avoid).is_empty() && !seen[*r as usize] {
+                seen[*r as usize] = true;
+                queue.push_back(*r);
+            }
+        }
+    }
+    true
+}
+
+/// The compiled document-rejection test of a [`PrefilterAnalysis`].
+#[derive(Debug, Clone)]
+pub struct PrefilterGate {
+    min_len: usize,
+    prefix: Vec<u8>,
+    required: Option<ByteFinder>,
+}
+
+impl PrefilterGate {
+    /// Whether `doc` provably produces an empty relation — without
+    /// touching any automaton. Conservative: `false` means "maybe".
+    pub fn rejects(&self, doc: &[u8]) -> bool {
+        if doc.len() < self.min_len {
+            return true;
+        }
+        if !self.prefix.is_empty() && !doc.starts_with(&self.prefix) {
+            return true;
+        }
+        if let Some(f) = &self.required {
+            if f.find(doc).is_none() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the gate can never reject anything (trivial analysis).
+    pub fn is_transparent(&self) -> bool {
+        self.min_len == 0 && self.prefix.is_empty() && self.required.is_none()
+    }
+}
+
+/// An [`EVsa`] compiled for the prefiltered engine: the dense engine
+/// with the skip-loop enabled, behind a [`PrefilterGate`]. Construct via
+/// [`PrefilteredEvsa::compile`] or [`EVsa::compile_prefilter`]; share
+/// across workers in an `Arc` like [`DenseEvsa`].
+#[derive(Debug)]
+pub struct PrefilteredEvsa {
+    dense: Arc<DenseEvsa>,
+    analysis: PrefilterAnalysis,
+    gate: PrefilterGate,
+    /// Reusable scan caches for the pooled entry points.
+    caches: Mutex<Vec<DenseCache>>,
+    /// Aggregate statistics of the pooled entry points.
+    stats: Mutex<PrefilterStats>,
+}
+
+impl PrefilteredEvsa {
+    /// Analyzes and compiles `evsa`. The dense engine inside always runs
+    /// with [`DenseConfig::skip_loop`] on; the other knobs of `config`
+    /// are passed through.
+    pub fn compile(evsa: Arc<EVsa>, config: DenseConfig) -> PrefilteredEvsa {
+        let analysis = PrefilterAnalysis::analyze(&evsa);
+        let gate = analysis.gate();
+        let dense = Arc::new(DenseEvsa::compile(
+            evsa,
+            DenseConfig {
+                skip_loop: true,
+                ..config
+            },
+        ));
+        PrefilteredEvsa {
+            dense,
+            analysis,
+            gate,
+            caches: Mutex::new(Vec::new()),
+            stats: Mutex::new(PrefilterStats::default()),
+        }
+    }
+
+    /// The analysis backing the gate.
+    pub fn analysis(&self) -> &PrefilterAnalysis {
+        &self.analysis
+    }
+
+    /// The document gate.
+    pub fn gate(&self) -> &PrefilterGate {
+        &self.gate
+    }
+
+    /// The skip-loop-enabled dense compilation behind the gate.
+    pub fn dense(&self) -> &Arc<DenseEvsa> {
+        &self.dense
+    }
+
+    /// The compiled automaton.
+    pub fn evsa(&self) -> &EVsa {
+        self.dense.evsa()
+    }
+
+    /// Snapshot of the statistics accumulated by the pooled entry points
+    /// ([`PrefilteredEvsa::eval`] / [`PrefilteredEvsa::accepts`]).
+    /// Callers driving [`PrefilteredEvsa::eval_with`] own their stats.
+    pub fn stats(&self) -> PrefilterStats {
+        *self.stats.lock().expect("stats poisoned")
+    }
+
+    /// Evaluates on a document, producing exactly the relation of the
+    /// dense and NFA engines. Uses pooled caches and the internal stats
+    /// aggregate.
+    pub fn eval(&self, doc: &[u8]) -> SpanRelation {
+        let mut cache = self.take_cache();
+        let mut stats = PrefilterStats::default();
+        let out = self.eval_with(doc, &mut cache, &mut stats);
+        self.return_cache(cache);
+        let mut agg = self.stats.lock().expect("stats poisoned");
+        *agg = agg.merge(stats);
+        out
+    }
+
+    /// Evaluates with an explicit scan cache and stats accumulator (one
+    /// pair per worker; the cache amortizes lazy determinization, the
+    /// stats feed `CorpusStats`).
+    pub fn eval_with(
+        &self,
+        doc: &[u8],
+        cache: &mut DenseCache,
+        stats: &mut PrefilterStats,
+    ) -> SpanRelation {
+        if self.gate.rejects(doc) {
+            stats.bytes_skipped += doc.len() as u64;
+            return SpanRelation::empty();
+        }
+        if !self.gate.is_transparent() {
+            stats.candidates += 1;
+        }
+        let skipped_before = cache.skipped_bytes();
+        let rel = self.dense.eval_with(doc, cache);
+        stats.bytes_skipped += cache.skipped_bytes() - skipped_before;
+        if rel.is_empty() && !self.gate.is_transparent() {
+            stats.false_candidates += 1;
+        }
+        rel
+    }
+
+    /// Boolean acceptance through the gate (pooled cache + stats).
+    pub fn accepts(&self, doc: &[u8]) -> bool {
+        let mut cache = self.take_cache();
+        let mut stats = PrefilterStats::default();
+        let out = self.accepts_with(doc, &mut cache, &mut stats);
+        self.return_cache(cache);
+        let mut agg = self.stats.lock().expect("stats poisoned");
+        *agg = agg.merge(stats);
+        out
+    }
+
+    /// Boolean acceptance with an explicit cache and stats accumulator.
+    pub fn accepts_with(
+        &self,
+        doc: &[u8],
+        cache: &mut DenseCache,
+        stats: &mut PrefilterStats,
+    ) -> bool {
+        if self.gate.rejects(doc) {
+            stats.bytes_skipped += doc.len() as u64;
+            return false;
+        }
+        if !self.gate.is_transparent() {
+            stats.candidates += 1;
+        }
+        let skipped_before = cache.skipped_bytes();
+        let accepted = self.dense.accepts_with(doc, cache);
+        stats.bytes_skipped += cache.skipped_bytes() - skipped_before;
+        if !accepted && !self.gate.is_transparent() {
+            stats.false_candidates += 1;
+        }
+        accepted
+    }
+
+    fn take_cache(&self) -> DenseCache {
+        self.caches
+            .lock()
+            .expect("cache pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn return_cache(&self, cache: DenseCache) {
+        self.caches.lock().expect("cache pool poisoned").push(cache);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseCacheStats;
+    use crate::eval::eval_evsa;
+    use crate::rgx::Rgx;
+
+    fn compile(pattern: &str) -> Arc<EVsa> {
+        let vsa = Rgx::parse(pattern).unwrap().to_vsa().unwrap();
+        Arc::new(EVsa::from_functional(&vsa.functionalize()))
+    }
+
+    fn prefiltered(pattern: &str) -> PrefilteredEvsa {
+        PrefilteredEvsa::compile(compile(pattern), DenseConfig::default())
+    }
+
+    #[test]
+    fn analysis_extracts_min_len_prefix_and_required_class() {
+        let a = PrefilterAnalysis::analyze(&compile("ab(x{c+})d.*"));
+        assert_eq!(a.min_len, 4);
+        // The capture's first byte is forced too: every match reads "abc".
+        assert_eq!(a.prefix, b"abc".to_vec());
+
+        // Digits are mandatory for the number extractor even though the
+        // contexts accept anything.
+        let a = PrefilterAnalysis::analyze(&compile("(.*[^0-9]|)x{[0-9]+}([^0-9].*|)"));
+        assert_eq!(a.min_len, 1);
+        assert!(a.prefix.is_empty());
+        let required = a.required.expect("digits are required");
+        assert_eq!(required, ByteSet::range(b'0', b'9'));
+
+        // `.*x{a+}.*`: an 'a' is required.
+        let a = PrefilterAnalysis::analyze(&compile(".*x{a+}.*"));
+        assert_eq!(a.min_len, 1);
+        assert_eq!(a.required, Some(ByteSet::single(b'a')));
+    }
+
+    #[test]
+    fn trivial_analyses_fall_back() {
+        // Zero-length-match spanner: the empty document is accepted, so
+        // neither length nor content can be required.
+        let a = PrefilterAnalysis::analyze(&compile(".*x{}.*"));
+        assert_eq!(a.min_len, 0);
+        assert!(a.is_trivial());
+        assert!(a.gate().is_transparent());
+        // Universal matcher.
+        assert!(PrefilterAnalysis::analyze(&compile("x{.*}")).is_trivial());
+    }
+
+    #[test]
+    fn empty_language_rejects_everything() {
+        // An automaton with no accepting run at all.
+        let v = crate::vsa::Vsa::new(crate::vars::VarTable::empty());
+        let e = Arc::new(EVsa::from_functional(&v));
+        let a = PrefilterAnalysis::analyze(&e);
+        assert_eq!(a.min_len, usize::MAX);
+        let p = PrefilteredEvsa::compile(e, DenseConfig::default());
+        assert!(p.eval(b"anything").is_empty());
+        assert!(!p.accepts(b"anything"));
+    }
+
+    #[test]
+    fn gate_rejections_do_not_change_results() {
+        for (pat, docs) in [
+            (
+                "(.*[^0-9]|)x{[0-9]+}([^0-9].*|)",
+                vec![
+                    b"no digits here at all".to_vec(),
+                    b"answer 42 found".to_vec(),
+                    b"7".to_vec(),
+                    b"".to_vec(),
+                ],
+            ),
+            (
+                ".*x{a+}.*",
+                vec![b"bbbb".to_vec(), b"bab".to_vec(), b"".to_vec()],
+            ),
+            (
+                "ab(x{c+})d",
+                vec![
+                    b"abccd".to_vec(),
+                    b"xbccd".to_vec(),
+                    b"a".to_vec(),
+                    b"".to_vec(),
+                ],
+            ),
+            (".*x{}.*", vec![b"ab".to_vec(), b"".to_vec()]),
+        ] {
+            let e = compile(pat);
+            let p = PrefilteredEvsa::compile(e.clone(), DenseConfig::default());
+            for doc in docs {
+                assert_eq!(p.eval(&doc), eval_evsa(&e, &doc), "pattern {pat}");
+                assert_eq!(
+                    p.accepts(&doc),
+                    !eval_evsa(&e, &doc).is_empty(),
+                    "pattern {pat}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn short_documents_short_circuit_without_touching_the_dfa() {
+        let p = prefiltered("ab(x{c+})d");
+        assert_eq!(p.analysis().min_len, 4);
+        let mut cache = DenseCache::default();
+        let mut stats = PrefilterStats::default();
+        assert!(p.eval_with(b"abc", &mut cache, &mut stats).is_empty());
+        // Rejected before evaluation: no DFA step ran, the whole
+        // document counts as skipped, and it is not a candidate.
+        assert_eq!(cache.stats(), DenseCacheStats::default());
+        assert_eq!(stats.bytes_skipped, 3);
+        assert_eq!(stats.candidates, 0);
+
+        // Zero-length-match corner: min length 0 never rejects; the
+        // empty document still produces its tuple.
+        let z = prefiltered(".*x{}.*");
+        assert_eq!(z.analysis().min_len, 0);
+        assert_eq!(z.eval(b"").len(), 1);
+    }
+
+    #[test]
+    fn stats_count_candidates_and_false_candidates() {
+        let p = prefiltered("(.*[^0-9]|)x{[0-9]+}([^0-9].*|)");
+        let mut cache = DenseCache::default();
+        let mut stats = PrefilterStats::default();
+        // Gate-rejected (no digit): skipped, not a candidate.
+        assert!(p
+            .eval_with(b"plain words only", &mut cache, &mut stats)
+            .is_empty());
+        assert_eq!(stats.candidates, 0);
+        assert_eq!(stats.bytes_skipped, 16);
+        // True candidate with a match.
+        assert!(!p.eval_with(b"x 12 y", &mut cache, &mut stats).is_empty());
+        assert_eq!(stats.candidates, 1);
+        assert_eq!(stats.false_candidates, 0);
+        let merged = stats.merge(PrefilterStats {
+            bytes_skipped: 1,
+            candidates: 1,
+            false_candidates: 1,
+        });
+        assert_eq!(merged.candidates, 2);
+        assert_eq!(merged.false_candidates, 1);
+        assert_eq!(merged.bytes_skipped, stats.bytes_skipped + 1);
+    }
+
+    #[test]
+    fn skip_loop_skips_sparse_context_bytes() {
+        let p = prefiltered("(.*[^0-9]|)x{[0-9]+}([^0-9].*|)");
+        let mut doc = vec![b'a'; 4096];
+        doc[2048] = b'7';
+        let e = compile("(.*[^0-9]|)x{[0-9]+}([^0-9].*|)");
+        let mut cache = DenseCache::default();
+        let mut stats = PrefilterStats::default();
+        let rel = p.eval_with(&doc, &mut cache, &mut stats);
+        assert_eq!(rel, eval_evsa(&e, &doc));
+        assert_eq!(rel.len(), 1);
+        assert!(
+            stats.bytes_skipped > 3000,
+            "skip-loop should cross the flat context: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn pooled_entry_points_aggregate_stats() {
+        let p = prefiltered(".*x{a+}.*");
+        assert!(p.eval(b"bbbb").is_empty());
+        assert!(p.accepts(b"bba"));
+        let s = p.stats();
+        assert!(s.bytes_skipped >= 4, "rejected doc counted: {s:?}");
+        assert_eq!(s.candidates, 1);
+    }
+}

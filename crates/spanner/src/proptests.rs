@@ -4,6 +4,7 @@ use crate::byteset::ByteSet;
 use crate::dense::{DenseConfig, DenseEvsa};
 use crate::eval::{eval, eval_evsa, reference_eval};
 use crate::evsa::EVsa;
+use crate::prefilter::PrefilteredEvsa;
 use crate::rgx::{Ast, Rgx};
 use crate::splitter::{compose, Splitter};
 use crate::tuple::SpanRelation;
@@ -34,6 +35,20 @@ const SPLITTER_PATTERNS: &[&str] = &[
 
 fn doc_strategy() -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'.')], 0..8)
+}
+
+/// Match-sparse documents: long runs of filler with rare interesting
+/// bytes — the shape the prefilter gate and skip-loop are built for.
+fn sparse_doc_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..17, 0..64).prop_map(|v| {
+        v.into_iter()
+            .map(|x| match x {
+                0 => b'a',
+                1..=8 => b'b',
+                _ => b'.',
+            })
+            .collect()
+    })
 }
 
 fn compile(p: &str) -> Vsa {
@@ -201,13 +216,50 @@ proptest! {
         prop_assert_eq!(dense.accepts(&doc), !nfa_rel.is_empty());
         // Dense engine with a starved cache: every scan takes the
         // overflow fallback path; results must be identical.
-        let tiny = DenseEvsa::compile(evsa.clone(), DenseConfig { max_cache_states: 1 });
+        let tiny = DenseEvsa::compile(evsa.clone(), DenseConfig { max_cache_states: 1, ..DenseConfig::default() });
         prop_assert_eq!(tiny.eval(&doc), nfa_rel.clone());
         prop_assert_eq!(tiny.accepts(&doc), !nfa_rel.is_empty());
         // Independent oracle (exponential; keep it to every 8th case).
         if seed % 8 == 0 {
             prop_assert_eq!(nfa_rel, reference_eval(&vsa, &doc));
         }
+    }
+
+    #[test]
+    fn prefilter_engine_agrees_on_random_spanners(
+        seed in 0u64..u64::MAX,
+        dense_doc in doc_strategy(),
+        sparse_doc in sparse_doc_strategy(),
+    ) {
+        // Prefiltered engine (gate + skip-loop) == dense == nfa on
+        // random spanners over both match-dense and match-sparse
+        // documents; trivial analyses must fall back transparently.
+        let vsa = rand_spanner_vsa(seed);
+        let f = if vsa.is_functional() { vsa.clone() } else { vsa.functionalize() };
+        let evsa = Arc::new(EVsa::from_functional(&f));
+        let pre = PrefilteredEvsa::compile(evsa.clone(), DenseConfig::default());
+        let dense = DenseEvsa::compile(evsa.clone(), DenseConfig::default());
+        for doc in [&dense_doc, &sparse_doc] {
+            let nfa_rel = eval_evsa(&evsa, doc);
+            prop_assert_eq!(dense.eval(doc), nfa_rel.clone());
+            prop_assert_eq!(pre.eval(doc), nfa_rel.clone());
+            prop_assert_eq!(pre.accepts(doc), !nfa_rel.is_empty());
+        }
+    }
+
+    #[test]
+    fn prefilter_engine_agrees_on_fixed_patterns(pi in 0..PATTERNS.len(), doc in sparse_doc_strategy()) {
+        // Fixed patterns include the empty-literal-set shapes (".*x{}.*",
+        // "x{a*}y{b*}" accept the empty document) — the documented
+        // fallback path where the gate is transparent.
+        let vsa = compile(PATTERNS[pi]);
+        let f = if vsa.is_functional() { vsa.clone() } else { vsa.functionalize() };
+        let evsa = Arc::new(EVsa::from_functional(&f));
+        let pre = PrefilteredEvsa::compile(evsa.clone(), DenseConfig::default());
+        if pre.analysis().is_trivial() {
+            prop_assert!(pre.gate().is_transparent());
+        }
+        prop_assert_eq!(pre.eval(&doc), eval_evsa(&evsa, &doc));
     }
 
     #[test]
@@ -225,7 +277,7 @@ proptest! {
         // Dense fast path (default compile) vs the uncompiled NFA path,
         // plus the starved-cache fallback.
         prop_assert_eq!(s.compile().split(&doc), s.split(&doc));
-        let starved = s.compile_with(DenseConfig { max_cache_states: 1 });
+        let starved = s.compile_with(DenseConfig { max_cache_states: 1, ..DenseConfig::default() });
         prop_assert_eq!(starved.split(&doc), s.split(&doc));
     }
 

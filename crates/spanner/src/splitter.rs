@@ -20,6 +20,7 @@ use crate::byteset::ByteSet;
 use crate::dense::{DenseConfig, DenseEvsa};
 use crate::eval::eval;
 use crate::evsa::EVsa;
+use crate::prefilter::{PrefilterAnalysis, PrefilterGate};
 use crate::rgx::{Ast, Rgx};
 use crate::span::Span;
 use crate::stream::{SplitterState, StreamTables};
@@ -89,8 +90,10 @@ impl Splitter {
             self.vsa.functionalize()
         };
         let evsa = Arc::new(EVsa::from_functional(&f));
+        let gate = Arc::new(PrefilterAnalysis::analyze(&evsa).gate());
         CompiledSplitter {
             dense: Arc::new(DenseEvsa::compile(evsa, config)),
+            gate,
             stream: OnceLock::new(),
         }
     }
@@ -267,6 +270,10 @@ pub fn two_run_report(e1: &EVsa, e2: &EVsa) -> TwoRunReport {
 #[derive(Debug, Clone)]
 pub struct CompiledSplitter {
     dense: Arc<DenseEvsa>,
+    /// Document gate from the splitter's prefilter analysis: documents
+    /// shorter than the minimum split length (or missing a required
+    /// byte) split to nothing without touching the engine.
+    gate: Arc<PrefilterGate>,
     stream: OnceLock<Arc<StreamTables>>,
 }
 
@@ -281,9 +288,17 @@ impl CompiledSplitter {
         &self.dense
     }
 
-    /// Splits a document (dense fast path; exact NFA fallback when the
-    /// lazy-DFA cache bound is hit).
+    /// The splitter's document gate (see [`crate::prefilter`]).
+    pub fn gate(&self) -> &PrefilterGate {
+        &self.gate
+    }
+
+    /// Splits a document (prefilter gate, then the dense fast path;
+    /// exact NFA fallback when the lazy-DFA cache bound is hit).
     pub fn split(&self, doc: &[u8]) -> Vec<Span> {
+        if self.gate.rejects(doc) {
+            return Vec::new();
+        }
         self.dense
             .eval(doc)
             .iter()
@@ -851,5 +866,23 @@ mod tests {
         let c = s.compile();
         let doc = b"one. two. three";
         assert_eq!(s.split(doc), c.split(doc));
+    }
+
+    #[test]
+    fn compiled_splitter_gate_short_circuits() {
+        // Sentences need at least one non-period byte; the empty
+        // document and all-period documents are gate-rejected, with
+        // results identical to the ungated path.
+        let c = sentences().compile();
+        assert!(c.gate().rejects(b""));
+        assert_eq!(c.split(b""), sentences().split(b""));
+        assert_eq!(c.split(b"..."), sentences().split(b"..."));
+        // char_windows(3) has min split length 3.
+        let w = char_windows(3).compile();
+        assert!(w.gate().rejects(b"ab"));
+        for doc in [b"ab".as_slice(), b"abc", b"abcd"] {
+            assert_eq!(w.split(doc), char_windows(3).split(doc));
+        }
+        assert!(w.split(b"ab").is_empty());
     }
 }

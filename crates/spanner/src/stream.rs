@@ -56,6 +56,7 @@ use crate::evsa::EVsa;
 use crate::span::Span;
 use splitc_automata::classes::{ByteClassBuilder, ByteClasses};
 use splitc_automata::nfa::StateId;
+use splitc_automata::scan::ByteFinder;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -126,6 +127,14 @@ struct PhaseDfas {
     after_universal: Vec<bool>,
     /// The before-DFA state of the automaton's start frontier.
     before_start: u32,
+    /// Skip-loop table: per before state, a SWAR finder for the bytes
+    /// that change anything (leave the state, open a span, or emit an
+    /// empty span). When the stream has no pending or unreleased
+    /// candidates, runs of non-escape bytes are jumped by the scanner
+    /// instead of stepped — the streaming counterpart of the dense
+    /// engine's skip-loop. `None` = the state escapes on too much of the
+    /// alphabet for skipping to pay.
+    before_skip: Vec<Option<ByteFinder>>,
 }
 
 /// Precompiled stepping structures of a unary splitter: byte classes,
@@ -462,6 +471,34 @@ impl StreamTables {
         }
         let after_universal = non_universal.iter().map(|&b| !b).collect();
 
+        // Skip-loop table (see the field docs on [`PhaseDfas`]). A byte
+        // class is *inert* for a before state when it neither leaves the
+        // state nor opens a span nor emits an empty span; only the
+        // complement — the escape bytes — needs scanning for. The dead
+        // state 0 is inert on everything: once the before frontier dies
+        // with nothing unresolved, whole chunks are skipped.
+        let n_before = before.sets.len();
+        let mut before_skip: Vec<Option<ByteFinder>> = Vec::with_capacity(n_before);
+        for id in 0..n_before {
+            let mut escape = [false; 256];
+            for c in 0..self.nc {
+                let at = id * self.nc + c;
+                let inert =
+                    before_next[at] == id as u32 && before_open[at] == 0 && before_oc[at] == 0;
+                if !inert {
+                    for b in self.classes.bytes_of(c) {
+                        escape[b as usize] = true;
+                    }
+                }
+            }
+            let escapes = escape.iter().filter(|&&e| e).count();
+            before_skip.push(if escapes <= 128 {
+                Some(ByteFinder::from_predicate(|b| escape[b as usize]))
+            } else {
+                None
+            });
+        }
+
         Some(PhaseDfas {
             before_next,
             before_open,
@@ -474,6 +511,7 @@ impl StreamTables {
             after_accepting,
             after_universal,
             before_start,
+            before_skip,
         })
     }
 }
@@ -547,6 +585,8 @@ pub struct SplitterState {
     t: Arc<StreamTables>,
     /// Bytes consumed so far (= the stream offset of the next byte).
     pos: usize,
+    /// Bytes consumed by the skip-loop scanner instead of DFA steps.
+    skipped: u64,
     /// Emitted spans not yet drained by the caller.
     out: Vec<Span>,
     mode: Mode,
@@ -580,6 +620,7 @@ impl SplitterState {
         SplitterState {
             t: tables,
             pos: 0,
+            skipped: 0,
             out: Vec::new(),
             mode,
         }
@@ -588,6 +629,12 @@ impl SplitterState {
     /// Number of bytes consumed so far.
     pub fn pos(&self) -> usize {
         self.pos
+    }
+
+    /// Bytes consumed by the skip-loop scanner instead of phase-DFA
+    /// steps (0 in set-fallback mode, which always steps exactly).
+    pub fn bytes_skipped(&self) -> u64 {
+        self.skipped
     }
 
     /// Number of unresolved candidate segments (open or closed but not
@@ -623,18 +670,43 @@ impl SplitterState {
     /// Consumes a chunk of the document and returns the split spans
     /// (absolute stream offsets) that became releasable, in ascending
     /// `(start, end)` order across the whole stream.
+    ///
+    /// In DFA mode, whenever nothing is unresolved (no pending opens, no
+    /// unreleased candidates) and the before state is inert on most
+    /// bytes, the scanner jumps straight to the next escape byte —
+    /// skipped positions provably change nothing, so emitted spans and
+    /// [`SplitterState::low_watermark`] stay exactly as in the stepped
+    /// simulation (skipped bytes fall below the watermark immediately,
+    /// composing with the execution layer's chunk-boundary buffering).
     pub fn push(&mut self, chunk: &[u8]) -> Vec<Span> {
-        match &mut self.mode {
-            Mode::Dfa(_) => {
-                for &b in chunk {
-                    self.step_dfa(b);
+        if matches!(self.mode, Mode::Sets(_)) {
+            for &b in chunk {
+                self.step_sets(b);
+            }
+            return std::mem::take(&mut self.out);
+        }
+        let mut i = 0;
+        while i < chunk.len() {
+            let jump = match (&self.mode, self.t.dfas.as_ref()) {
+                (Mode::Dfa(d), Some(dfas)) if d.pending.is_empty() && d.candidates.is_empty() => {
+                    dfas.before_skip[d.before as usize]
+                        .as_ref()
+                        .map(|f| f.find(&chunk[i..]))
+                }
+                _ => None,
+            };
+            if let Some(hit) = jump {
+                // Jump over the inert run (possibly the whole chunk).
+                let j = hit.unwrap_or(chunk.len() - i);
+                self.pos += j;
+                self.skipped += j as u64;
+                i += j;
+                if i >= chunk.len() {
+                    break;
                 }
             }
-            Mode::Sets(_) => {
-                for &b in chunk {
-                    self.step_sets(b);
-                }
-            }
+            self.step_dfa(chunk[i]);
+            i += 1;
         }
         std::mem::take(&mut self.out)
     }
@@ -1088,6 +1160,53 @@ mod tests {
             let off = StreamTables::compile_with_budget(&evsa, 0);
             assert!(!off.uses_phase_dfas(), "budget 0 must disable DFAs");
         }
+    }
+
+    #[test]
+    fn skip_loop_streams_sparse_splitters_exactly() {
+        // Spans open only after a 'q'; everything before is inert, so
+        // the scanner jumps it. Results must match batch splitting for
+        // every chunking, and skipped bytes must be substantial.
+        let s = Splitter::parse(".*q(x{a+})(q.*)?").unwrap();
+        let mut doc = vec![b'b'; 512];
+        doc.extend_from_slice(b"qaaa");
+        doc.extend(vec![b'b'; 17]);
+        check(&s, &doc);
+        let compiled = s.compile();
+        for chunk in [1usize, 7, 64, doc.len()] {
+            let mut st = compiled.stream();
+            let mut got = Vec::new();
+            for piece in doc.chunks(chunk) {
+                got.extend(st.push(piece));
+            }
+            let skipped = st.bytes_skipped();
+            got.extend(st.finish());
+            assert_eq!(got, compiled.split(&doc), "chunk {chunk}");
+            assert!(
+                skipped > 400,
+                "scanner should cross the inert prefix (chunk {chunk}): {skipped}"
+            );
+        }
+        // Dense splitters never skip incorrectly either (sentences open
+        // everywhere, so pending keeps the loop stepping).
+        let mut st = splitter::sentences().compile().stream();
+        let _ = st.push(b"aa.bb.cc");
+        let _ = st.finish();
+    }
+
+    #[test]
+    fn dead_before_frontier_skips_whole_chunks() {
+        // x{a}b: after a non-matching prefix the before frontier dies
+        // with nothing pending; the rest of the stream is jumped.
+        let s = Splitter::parse("x{a}b").unwrap();
+        let compiled = s.compile();
+        let mut st = compiled.stream();
+        let mut doc = vec![b'c'];
+        doc.extend(vec![b'z'; 100]);
+        let mut got = st.push(&doc);
+        assert!(st.bytes_skipped() >= 100, "{}", st.bytes_skipped());
+        got.extend(st.finish());
+        assert_eq!(got, compiled.split(&doc));
     }
 
     #[test]

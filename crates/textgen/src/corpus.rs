@@ -157,6 +157,59 @@ impl Iterator for WikiChunks {
     }
 }
 
+/// A *match-sparse* Wikipedia-like document: the same paragraph /
+/// sentence shape as [`wiki_corpus`], but tokens are letters-only except
+/// that each sentence independently carries one numeric token with
+/// probability `1/needle_every` (seeded, so generation is
+/// deterministic). With `needle_every == 0` no sentence ever matches.
+/// This is the workload of the `e6_sparse_prefilter` benchmark: a
+/// number extractor finds something in roughly `1/needle_every` of the
+/// sentences and the literal prefilter gate rejects the rest without
+/// touching a DFA.
+pub fn sparse_number_corpus(cfg: &CorpusConfig, needle_every: usize) -> Vec<u8> {
+    let barren = CorpusConfig {
+        number_rate: 0.0,
+        ..cfg.clone()
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = String::with_capacity(cfg.target_bytes + 1024);
+    while out.len() < cfg.target_bytes {
+        let mut para = String::new();
+        for i in 0..cfg.paragraph_sentences {
+            if i > 0 {
+                para.push(' ');
+            }
+            para.push_str(&sentence(&mut rng, &barren));
+            if needle_every > 0 && rng.gen_range(0..needle_every) == 0 {
+                para.push_str(&format!(" {}", rng.gen_range(1..100000)));
+            }
+            para.push('.');
+        }
+        if !out.is_empty() {
+            out.push_str("\n\n");
+        }
+        out.push_str(&para);
+    }
+    out.into_bytes()
+}
+
+/// A corpus of `n` independent sparse documents (document `i` uses seed
+/// `cfg.seed + i`), mirroring [`wiki_corpus_shards`] for the sparse
+/// workload.
+pub fn sparse_number_shards(n: usize, cfg: &CorpusConfig, needle_every: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| {
+            sparse_number_corpus(
+                &CorpusConfig {
+                    seed: cfg.seed.wrapping_add(i as u64),
+                    ..cfg.clone()
+                },
+                needle_every,
+            )
+        })
+        .collect()
+}
+
 /// A PubMed-like document: longer, number-heavy sentences, flat
 /// structure (one big "abstract stream").
 pub fn pubmed_corpus(target_bytes: usize, seed: u64) -> Vec<u8> {
@@ -427,6 +480,34 @@ mod tests {
             let text = m.slice(&log);
             assert!(text.starts_with(b"get ") || text.starts_with(b"post "));
         }
+    }
+
+    #[test]
+    fn sparse_corpus_is_sparse_deterministic_and_splittable() {
+        let cfg = CorpusConfig {
+            target_bytes: 20_000,
+            ..Default::default()
+        };
+        let doc = sparse_number_corpus(&cfg, 32);
+        assert_eq!(doc, sparse_number_corpus(&cfg, 32), "seeded determinism");
+        let sentences = native::sentences(&doc);
+        let with_digit = sentences
+            .iter()
+            .filter(|s| s.slice(&doc).iter().any(|b| b.is_ascii_digit()))
+            .count();
+        assert!(with_digit >= 1);
+        assert!(
+            with_digit * 16 <= sentences.len(),
+            "at most ~1/16 of {} sentences may match, got {with_digit}",
+            sentences.len()
+        );
+        // The barren variant never matches.
+        let barren = sparse_number_corpus(&cfg, 0);
+        assert!(barren.iter().all(|b| !b.is_ascii_digit()));
+        // Shards differ and mirror the single-document generator.
+        let shards = sparse_number_shards(3, &cfg, 32);
+        assert_eq!(shards[0], doc);
+        assert_ne!(shards[0], shards[1]);
     }
 
     #[test]

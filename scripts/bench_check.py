@@ -1,24 +1,37 @@
 #!/usr/bin/env python3
 """Sanity-checks a BENCH JSON-lines file produced by bench_smoke.sh.
 
-Verifies the stable row schema, that the dense engine beats the NFA
-engine by the required factor on at least one e-series benchmark, that —
-when e5 rows are present — streaming corpus execution
-(`e5_corpus_stream/stream`) is not slower than the materialize-then-
-split baseline (`e5_corpus_stream/batch`) beyond the allowed ratio,
-and that — when t3_certification_scaling rows are present — the
-antichain certification engine beats the determinize-first reference by
-the required factor at the largest `needle` scale point (the family
-whose determinization grows as 2^k; small points are overhead-dominated
-by design, the gate is the asymptotic one).
+Verifies the stable row schema (including the `scale` problem-size
+field), that the dense engine beats the NFA engine by the required
+factor on at least one e-series benchmark, that — when e5 rows are
+present — streaming corpus execution (`e5_corpus_stream/stream`) is not
+slower than the materialize-then-split baseline
+(`e5_corpus_stream/batch`) beyond the allowed ratio, that — when
+t3_certification_scaling rows are present — the antichain certification
+engine beats the determinize-first reference by the required factor at
+the largest needle `scale` point (the family whose determinization
+grows as 2^k; small points are overhead-dominated by design, the gate
+is the asymptotic one), and that — when e6 rows are present — the
+prefiltered engine beats the dense engine by the required factor on the
+sparse collection workload.
+
+Scaling gates key on each row's `scale` field, not on bench-name
+suffixes or row positions.
 
 Usage: scripts/bench_check.py BENCH_pr.json [min-speedup] \
-           [min-stream-ratio] [min-cert-speedup]
+           [min-stream-ratio] [min-cert-speedup] [min-prefilter-speedup]
 """
 import json
 import sys
 
-REQUIRED = {"bench": str, "engine": str, "bytes": int, "wall_ms": (int, float), "tuples": int}
+REQUIRED = {
+    "bench": str,
+    "engine": str,
+    "bytes": int,
+    "scale": (int, float),
+    "wall_ms": (int, float),
+    "tuples": int,
+}
 
 
 def main() -> int:
@@ -26,6 +39,7 @@ def main() -> int:
     min_speedup = float(sys.argv[2]) if len(sys.argv) > 2 else 1.5
     min_stream_ratio = float(sys.argv[3]) if len(sys.argv) > 3 else 0.0
     min_cert_speedup = float(sys.argv[4]) if len(sys.argv) > 4 else 0.0
+    min_prefilter_speedup = float(sys.argv[5]) if len(sys.argv) > 5 else 0.0
     rows = []
     with open(path) as f:
         for line in f:
@@ -78,13 +92,11 @@ def main() -> int:
             return 1
 
     # Certification engine: antichain vs determinize-first on the gated
-    # needle family, judged at the largest scale point present.
+    # needle family, judged at the largest `scale` point present.
     cert = {}
     for row in rows:
-        prefix = "t3_certification_scaling/needle_k="
-        if row["bench"].startswith(prefix):
-            k = int(row["bench"][len(prefix):])
-            cert.setdefault(k, {})[row["engine"]] = row["wall_ms"]
+        if row["bench"].startswith("t3_certification_scaling/needle"):
+            cert.setdefault(row["scale"], {})[row["engine"]] = row["wall_ms"]
     gated = [k for k, engines in cert.items()
              if "antichain" in engines and "determinize" in engines]
     if gated:
@@ -92,14 +104,30 @@ def main() -> int:
         anti = cert[k]["antichain"]
         det = cert[k]["determinize"]
         speedup = det / max(anti, 1e-9)
-        print(f"t3_certification_scaling (needle k={k}): determinize {det:.2f} ms, "
-              f"antichain {anti:.2f} ms -> {speedup:.2f}x")
+        print(f"t3_certification_scaling (needle scale={k:g}): determinize "
+              f"{det:.2f} ms, antichain {anti:.2f} ms -> {speedup:.2f}x")
         if speedup < min_cert_speedup:
-            print(f"antichain certification speedup {speedup:.2f}x at needle k={k} "
-                  f"is below the required {min_cert_speedup:.2f}x")
+            print(f"antichain certification speedup {speedup:.2f}x at needle "
+                  f"scale={k:g} is below the required {min_cert_speedup:.2f}x")
             return 1
     elif min_cert_speedup > 0.0:
         print("certification gate requested but no needle rows with both engines")
+        return 1
+
+    # Prefiltered engine vs dense on the sparse collection workload
+    # (the `e6_sparse_prefilter` rows without a /variant suffix; the
+    # /stream rows are pipeline-dominated and reported, not gated).
+    sparse = by_bench.get("e6_sparse_prefilter", {})
+    if "dense" in sparse and "prefilter" in sparse:
+        speedup = sparse["dense"] / max(sparse["prefilter"], 1e-9)
+        print(f"e6_sparse_prefilter: dense {sparse['dense']:.2f} ms, "
+              f"prefilter {sparse['prefilter']:.2f} ms -> {speedup:.2f}x")
+        if speedup < min_prefilter_speedup:
+            print(f"prefilter speedup {speedup:.2f}x is below the required "
+                  f"{min_prefilter_speedup:.2f}x")
+            return 1
+    elif min_prefilter_speedup > 0.0:
+        print("prefilter gate requested but no e6 rows with both engines")
         return 1
 
     print(f"OK: {len(rows)} rows; best dense speedup {best:.2f}x on {best_bench}")

@@ -31,12 +31,19 @@ run() {
 
 run e1_ngram_speedup nfa
 run e1_ngram_speedup dense
+run e1_ngram_speedup prefilter
 run e2_pubmed_speedup nfa
 run e2_pubmed_speedup dense
+run e2_pubmed_speedup prefilter
 run e4_reviews_speedup nfa
 run e4_reviews_speedup dense
+run e4_reviews_speedup prefilter
 run e5_corpus_stream nfa
 run e5_corpus_stream dense
+run e5_corpus_stream prefilter
+# Emits both dense and prefilter rows itself (collection + streaming
+# variants); the --engine flag is accepted-and-ignored for uniformity.
+run e6_sparse_prefilter dense
 run t2_splitcorrect_scaling dense
 # Emits both certification engines (antichain + determinize) itself;
 # the --engine flag is accepted-and-ignored for uniformity.

@@ -233,6 +233,57 @@ fn fleet_certification_main_path() {
     assert_eq!(out.stats.docs, 2);
 }
 
+/// `examples/sparse_scan.rs`: the prefiltered engine agrees with dense
+/// on a sparse corpus, the analysis finds the required digits, and the
+/// gate statistics show most segments never touched a DFA.
+#[test]
+fn sparse_scan_main_path() {
+    use split_correctness::spanner::dense::DenseConfig;
+    use split_correctness::spanner::evsa::EVsa;
+
+    let p = Rgx::parse("(.*[^0-9]|)x{[0-9]+}([^0-9].*|)")
+        .unwrap()
+        .to_vsa()
+        .unwrap();
+    let compiled =
+        EVsa::from_functional(&p.functionalize()).compile_prefilter(DenseConfig::default());
+    let analysis = compiled.analysis();
+    assert_eq!(analysis.min_len, 1);
+    assert!(analysis.required.is_some(), "digits must be required");
+    assert!(!analysis.is_trivial());
+
+    let s = splitters::sentences();
+    assert!(self_splittable(&p, &s).unwrap().holds());
+
+    let cfg = CorpusConfig {
+        target_bytes: 16 << 10,
+        seed: 0x5CA7,
+        ..Default::default()
+    };
+    let docs = textgen::sparse_number_shards(2, &cfg, 64);
+    let refs: Vec<&[u8]> = docs.iter().map(Vec::as_slice).collect();
+    let mut results = Vec::new();
+    let mut prefilter_stats = PrefilterStats::default();
+    for engine in [Engine::Dense, Engine::Prefilter] {
+        let runner = CorpusRunner::new(
+            ExecSpanner::compile_with(&p, engine),
+            s.compile(),
+            CorpusRunnerConfig::default(),
+        );
+        let out = runner.run_slices(&refs);
+        if engine == Engine::Prefilter {
+            prefilter_stats = out.stats.prefilter;
+        }
+        results.push(out.relations);
+    }
+    assert_eq!(results[0], results[1], "engines agree tuple for tuple");
+    assert!(
+        prefilter_stats.bytes_skipped > 10_000,
+        "most of the corpus is answered without a DFA: {prefilter_stats:?}"
+    );
+    assert!(prefilter_stats.candidates >= 1);
+}
+
 /// `examples/query_planning.rs`: §6 reasoning and §7.1 black-box
 /// inference.
 #[test]
