@@ -311,6 +311,219 @@ impl ByteFinder {
     }
 }
 
+/// Root state of a [`MultiNeedle`] automaton.
+const MN_ROOT: u32 = 0;
+
+/// A compiled multi-needle literal scanner: an Aho–Corasick automaton
+/// with the failure function folded into a dense per-state goto table,
+/// so the scan loop is one table lookup per byte with **no** fail-link
+/// chasing. The root state is additionally accelerated by a SWAR
+/// [`ByteFinder`] over the bytes that leave the root — on match-sparse
+/// input the scanner spends its time in `memchr`-speed skips rather
+/// than automaton steps, exactly like the single-pattern skip-loops.
+///
+/// Matches are reported as `(needle_id, end)` pairs where `end` is the
+/// exclusive end offset of the occurrence (`start = end - len(needle)`).
+/// All occurrences are reported, including overlapping ones and
+/// duplicate needles (two ids with identical bytes each fire at every
+/// occurrence) — the fleet engine relies on duplicates mapping to
+/// distinct owners. Output sets are *fail-closed*: a state's output
+/// list includes every needle ending at that state through the failure
+/// chain, so no suffix match is missed.
+///
+/// The streaming form ([`MultiNeedleScanner`]) carries the automaton
+/// state and absolute offset across [`push`](MultiNeedle::push)
+/// calls, so needles straddling chunk boundaries are found with the
+/// same ends as a whole-input scan.
+///
+/// Empty needles are rejected at construction (every position would
+/// match, which no caller wants); an empty needle *set* is valid and
+/// matches nothing.
+#[derive(Debug, Clone)]
+pub struct MultiNeedle {
+    /// Dense transition table: `goto[state * 256 + byte]`, fail links
+    /// pre-applied.
+    goto_: Vec<u32>,
+    /// CSR offsets into `out_pool`: state `s` outputs
+    /// `out_pool[out_off[s]..out_off[s + 1]]`.
+    out_off: Vec<u32>,
+    /// Needle ids, fail-closed per state, sorted ascending.
+    out_pool: Vec<u32>,
+    /// Number of needles compiled in.
+    num: usize,
+    /// Total bytes across all needles (trie size bound).
+    needle_bytes: usize,
+    /// SWAR finder for the bytes with a non-root goto out of the root.
+    root_escape: ByteFinder,
+}
+
+/// Streaming scan state for a [`MultiNeedle`]: automaton state plus the
+/// absolute offset of the next byte, carried across chunks.
+#[derive(Debug, Clone)]
+pub struct MultiNeedleScanner {
+    state: u32,
+    offset: usize,
+}
+
+impl MultiNeedle {
+    /// Compiles the automaton from a set of byte needles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any needle is empty.
+    pub fn new<N: AsRef<[u8]>>(needles: &[N]) -> MultiNeedle {
+        // Trie construction with sparse child maps, densified below.
+        let mut children: Vec<Vec<(u8, u32)>> = vec![Vec::new()];
+        let mut out: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut needle_bytes = 0;
+        for (id, needle) in needles.iter().enumerate() {
+            let needle = needle.as_ref();
+            assert!(!needle.is_empty(), "MultiNeedle: empty needle {id}");
+            needle_bytes += needle.len();
+            let mut s = MN_ROOT;
+            for &b in needle {
+                s = match children[s as usize].iter().find(|&&(cb, _)| cb == b) {
+                    Some(&(_, child)) => child,
+                    None => {
+                        let child = children.len() as u32;
+                        children[s as usize].push((b, child));
+                        children.push(Vec::new());
+                        out.push(Vec::new());
+                        child
+                    }
+                };
+            }
+            out[s as usize].push(id as u32);
+        }
+        let states = children.len();
+
+        // BFS failure links, folded straight into the dense goto table.
+        // Root misses stay at root; a state's missing transitions copy
+        // its fail state's row (already dense by BFS order), and output
+        // sets are closed over the failure chain.
+        let mut goto_ = vec![MN_ROOT; states * 256];
+        let mut fail = vec![MN_ROOT; states];
+        let mut queue = std::collections::VecDeque::new();
+        for &(b, child) in &children[MN_ROOT as usize] {
+            goto_[b as usize] = child;
+            queue.push_back(child);
+        }
+        while let Some(s) = queue.pop_front() {
+            let f = fail[s as usize];
+            let closure: Vec<u32> = out[f as usize].clone();
+            out[s as usize].extend(closure);
+            let row = s as usize * 256;
+            let frow = f as usize * 256;
+            for b in 0..256 {
+                goto_[row + b] = goto_[frow + b];
+            }
+            for &(b, child) in &children[s as usize] {
+                fail[child as usize] = goto_[frow + b as usize];
+                goto_[row + b as usize] = child;
+                queue.push_back(child);
+            }
+        }
+
+        let mut out_off = Vec::with_capacity(states + 1);
+        let mut out_pool = Vec::new();
+        out_off.push(0u32);
+        for set in &mut out {
+            set.sort_unstable();
+            out_pool.extend_from_slice(set);
+            out_off.push(out_pool.len() as u32);
+        }
+
+        let root_escape = ByteFinder::from_predicate(|b| goto_[b as usize] != MN_ROOT);
+        MultiNeedle {
+            goto_,
+            out_off,
+            out_pool,
+            num: needles.len(),
+            needle_bytes,
+            root_escape,
+        }
+    }
+
+    /// Number of needles compiled into the automaton.
+    pub fn num_needles(&self) -> usize {
+        self.num
+    }
+
+    /// Number of automaton states (trie nodes including the root).
+    pub fn num_states(&self) -> usize {
+        self.out_off.len() - 1
+    }
+
+    /// Total bytes across all compiled needles.
+    pub fn needle_bytes(&self) -> usize {
+        self.needle_bytes
+    }
+
+    /// A fresh streaming scanner positioned at absolute offset 0.
+    pub fn scanner(&self) -> MultiNeedleScanner {
+        MultiNeedleScanner {
+            state: MN_ROOT,
+            offset: 0,
+        }
+    }
+
+    /// Scans `chunk`, advancing `sc` and reporting each match as
+    /// `(needle_id, absolute_end)` to `visit`. Returning `false` from
+    /// `visit` stops the scan early (mid-chunk); the scanner remains
+    /// consistent and the return value is the number of bytes of
+    /// `chunk` consumed (== `chunk.len()` when not stopped).
+    pub fn push(
+        &self,
+        sc: &mut MultiNeedleScanner,
+        chunk: &[u8],
+        mut visit: impl FnMut(usize, usize) -> bool,
+    ) -> usize {
+        let n = chunk.len();
+        let mut i = 0;
+        let mut state = sc.state;
+        while i < n {
+            if state == MN_ROOT {
+                // SWAR skip: jump to the next byte that leaves the root.
+                match self.root_escape.find(&chunk[i..]) {
+                    Some(j) => i += j,
+                    None => {
+                        i = n;
+                        break;
+                    }
+                }
+            }
+            state = self.goto_[(state as usize) << 8 | chunk[i] as usize];
+            i += 1;
+            let (lo, hi) = (
+                self.out_off[state as usize] as usize,
+                self.out_off[state as usize + 1] as usize,
+            );
+            for &id in &self.out_pool[lo..hi] {
+                if !visit(id as usize, sc.offset + i) {
+                    sc.state = state;
+                    sc.offset += i;
+                    return i;
+                }
+            }
+        }
+        sc.state = state;
+        sc.offset += i;
+        i
+    }
+
+    /// All matches in `hay` as `(needle_id, end)` pairs, in end order
+    /// (ties in needle-id order).
+    pub fn find_all(&self, hay: &[u8]) -> Vec<(usize, usize)> {
+        let mut hits = Vec::new();
+        let mut sc = self.scanner();
+        self.push(&mut sc, hay, |id, end| {
+            hits.push((id, end));
+            true
+        });
+        hits
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +656,143 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Oracle for [`MultiNeedle`]: one naive per-needle scan each
+    /// (the per-literal `ByteFinder`-style baseline), merged and sorted
+    /// into the automaton's (end, id) emission order.
+    fn naive_multi(needles: &[&[u8]], hay: &[u8]) -> Vec<(usize, usize)> {
+        let mut hits = Vec::new();
+        for (id, needle) in needles.iter().enumerate() {
+            for start in 0..=hay.len().saturating_sub(needle.len()) {
+                if hay.len() >= needle.len() && hay[start..].starts_with(needle) {
+                    hits.push((id, start + needle.len()));
+                }
+            }
+        }
+        hits.sort_by_key(|&(id, end)| (end, id));
+        hits
+    }
+
+    /// Adversarial needle sets: overlaps, shared prefixes, suffix
+    /// relations (fail-closure coverage), duplicates, non-ASCII bytes.
+    fn needle_sets() -> Vec<Vec<&'static [u8]>> {
+        vec![
+            vec![b"a"],
+            vec![b"a", b"b"],
+            vec![b"ab", b"abc", b"bc", b"b"],
+            vec![b"qa", b"qab", b"qabc", b"qb"],
+            vec![b"aa", b"aaa", b"aaaa"],
+            vec![b"abab", b"bab", b"ab"],
+            vec![b"dup", b"dup", b"du"],
+            vec![b"\x00\xff", b"\xff", b"\x80\x80"],
+            vec![b"he", b"she", b"his", b"hers"],
+        ]
+    }
+
+    #[test]
+    fn multi_needle_matches_naive_per_literal_scans() {
+        let mut rng = Mix(11);
+        let mut docs = adversarial();
+        docs.push(b"abababababab".to_vec());
+        docs.push(b"aaaaaaaaaaaaaaaaa".to_vec());
+        docs.push(b"qqaqabqabcqb".to_vec());
+        docs.push(b"ushers".to_vec());
+        docs.push(b"dupdupdup".to_vec());
+        for len in [0usize, 1, 7, 8, 9, 31, 200] {
+            // Tiny alphabet: dense partial matches stress fail links.
+            docs.push((0..len).map(|_| b"ab"[rng.next() as usize % 2]).collect());
+            docs.push((0..len).map(|_| b"qab."[rng.next() as usize % 4]).collect());
+            docs.push((0..len).map(|_| rng.next() as u8).collect());
+        }
+        for needles in &needle_sets() {
+            let mn = MultiNeedle::new(needles);
+            assert_eq!(mn.num_needles(), needles.len());
+            for doc in &docs {
+                let expect = naive_multi(needles, doc);
+                assert_eq!(mn.find_all(doc), expect, "needles {needles:?} doc {doc:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_needle_streaming_matches_whole_input_scan() {
+        let mut rng = Mix(23);
+        let mut docs = adversarial();
+        docs.push(b"ababababab".to_vec());
+        docs.push(b"qabcqabcqabc".to_vec());
+        for len in [1usize, 9, 64, 157] {
+            docs.push((0..len).map(|_| b"qab."[rng.next() as usize % 4]).collect());
+        }
+        for needles in &needle_sets() {
+            let mn = MultiNeedle::new(needles);
+            for doc in &docs {
+                let expect = mn.find_all(doc);
+                // Needles must straddle every chunk boundary shape,
+                // down to one byte per push.
+                for chunk in [1usize, 2, 3, 5, 8, 13] {
+                    let mut sc = mn.scanner();
+                    let mut hits = Vec::new();
+                    for piece in doc.chunks(chunk) {
+                        let used = mn.push(&mut sc, piece, |id, end| {
+                            hits.push((id, end));
+                            true
+                        });
+                        assert_eq!(used, piece.len());
+                    }
+                    assert_eq!(
+                        hits, expect,
+                        "needles {needles:?} chunk {chunk} doc {doc:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_needle_early_exit_stops_mid_chunk() {
+        let mn = MultiNeedle::new(&[b"ab".as_slice(), b"cd".as_slice()]);
+        let doc = b"..ab..cd..ab";
+        let mut first = None;
+        let mut sc = mn.scanner();
+        let used = mn.push(&mut sc, doc, |id, end| {
+            first = Some((id, end));
+            false
+        });
+        assert_eq!(first, Some((0, 4)));
+        assert_eq!(used, 4, "stops right after the first match");
+        // The scanner stays consistent: resuming finds the rest.
+        let mut rest = Vec::new();
+        mn.push(&mut sc, &doc[used..], |id, end| {
+            rest.push((id, end));
+            true
+        });
+        assert_eq!(rest, vec![(1, 8), (0, 12)]);
+    }
+
+    #[test]
+    fn multi_needle_duplicate_needles_report_both_ids() {
+        let mn = MultiNeedle::new(&[b"xy".as_slice(), b"xy".as_slice()]);
+        assert_eq!(mn.find_all(b".xy."), vec![(0, 3), (1, 3)]);
+    }
+
+    #[test]
+    fn multi_needle_empty_set_is_inert() {
+        let mn = MultiNeedle::new(&[] as &[&[u8]]);
+        assert_eq!(mn.num_needles(), 0);
+        assert_eq!(mn.num_states(), 1);
+        let mut sc = mn.scanner();
+        let used = mn.push(&mut sc, b"anything at all", |_, _| {
+            panic!("no needles, no matches")
+        });
+        assert_eq!(used, 15);
+        assert!(mn.find_all(b"whatever").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty needle")]
+    fn multi_needle_rejects_empty_needles() {
+        MultiNeedle::new(&[b"ok".as_slice(), b"".as_slice()]);
     }
 
     #[test]

@@ -289,14 +289,9 @@ impl CorpusRunner {
             }
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let mut local_out: Vec<(usize, Vec<SpanTuple>)> = Vec::new();
+                let backend = self.spanner.backend();
                 for (di, seg) in batch.segments {
-                    let local = if let Some(p) = self.spanner.prefilter() {
-                        p.eval_with(&seg.bytes, &mut cache, &mut prefilter_stats)
-                    } else if let Some(d) = self.spanner.dense() {
-                        d.eval_with(&seg.bytes, &mut cache)
-                    } else {
-                        self.spanner.eval(&seg.bytes)
-                    };
+                    let local = backend.eval_scratch(&seg.bytes, &mut cache, &mut prefilter_stats);
                     let tuples: Vec<SpanTuple> = local.iter().map(|t| t.shift(seg.span)).collect();
                     if !tuples.is_empty() {
                         local_out.push((di, tuples));

@@ -1,9 +1,9 @@
 //! The parallel split-evaluation engine.
 
-use splitc_spanner::dense::{DenseConfig, DenseEvsa};
+use splitc_spanner::dense::{DenseCache, DenseConfig, DenseEvsa};
 use splitc_spanner::eval::eval_evsa;
 use splitc_spanner::evsa::EVsa;
-use splitc_spanner::prefilter::PrefilteredEvsa;
+use splitc_spanner::prefilter::{PrefilterStats, PrefilteredEvsa};
 use splitc_spanner::span::Span;
 use splitc_spanner::splitter::Splitter;
 use splitc_spanner::tuple::{SpanRelation, SpanTuple};
@@ -65,16 +65,125 @@ impl std::str::FromStr for Engine {
     }
 }
 
+/// The object-safe interface every evaluation engine sits behind.
+///
+/// Backends are the *core* engines — NFA simulation, dense lazy-DFA,
+/// prefiltered dense — unified so that executors ([`crate::CorpusRunner`],
+/// the fleet engine) dispatch through one vtable instead of matching on
+/// engine variants. Scan *frontends* (a per-spanner literal gate, the
+/// fleet's shared multi-needle scanner) are pluggable stages layered in
+/// front of a backend: they may prove a document's relation empty and
+/// skip the call entirely, but whenever they do call, the backend alone
+/// determines the result — which is why fused and sequential evaluation
+/// agree byte-for-byte.
+///
+/// All backends are exact (they produce the relation of
+/// [`eval_evsa`]); they differ only in speed and in how much
+/// caller-owned scratch they exploit.
+pub trait EngineBackend: std::fmt::Debug + Send + Sync {
+    /// The engine selection this backend implements.
+    fn kind(&self) -> Engine;
+
+    /// The compiled block-normal-form automaton.
+    fn evsa(&self) -> &Arc<EVsa>;
+
+    /// Evaluates one document with caller-owned scratch: a lazy-DFA
+    /// cache and a prefilter-stats accumulator, typically one pair per
+    /// worker thread. Backends that use neither (the NFA engine)
+    /// ignore them.
+    fn eval_scratch(
+        &self,
+        doc: &[u8],
+        cache: &mut DenseCache,
+        stats: &mut PrefilterStats,
+    ) -> SpanRelation;
+
+    /// Evaluates one document using backend-internal pooled scratch.
+    fn eval_pooled(&self, doc: &[u8]) -> SpanRelation;
+}
+
+/// Per-position NFA simulation — no scratch, no compilation beyond the
+/// eVSA itself.
+#[derive(Debug)]
+struct NfaBackend(Arc<EVsa>);
+
+impl EngineBackend for NfaBackend {
+    fn kind(&self) -> Engine {
+        Engine::Nfa
+    }
+    fn evsa(&self) -> &Arc<EVsa> {
+        &self.0
+    }
+    fn eval_scratch(
+        &self,
+        doc: &[u8],
+        _cache: &mut DenseCache,
+        _stats: &mut PrefilterStats,
+    ) -> SpanRelation {
+        eval_evsa(&self.0, doc)
+    }
+    fn eval_pooled(&self, doc: &[u8]) -> SpanRelation {
+        eval_evsa(&self.0, doc)
+    }
+}
+
+/// The dense lazy-DFA engine.
+#[derive(Debug)]
+struct DenseBackend(Arc<DenseEvsa>);
+
+impl EngineBackend for DenseBackend {
+    fn kind(&self) -> Engine {
+        Engine::Dense
+    }
+    fn evsa(&self) -> &Arc<EVsa> {
+        self.0.evsa_arc()
+    }
+    fn eval_scratch(
+        &self,
+        doc: &[u8],
+        cache: &mut DenseCache,
+        _stats: &mut PrefilterStats,
+    ) -> SpanRelation {
+        self.0.eval_with(doc, cache)
+    }
+    fn eval_pooled(&self, doc: &[u8]) -> SpanRelation {
+        self.0.eval(doc)
+    }
+}
+
+/// The dense engine behind a literal prefilter gate.
+#[derive(Debug)]
+struct PrefilterBackend(Arc<PrefilteredEvsa>);
+
+impl EngineBackend for PrefilterBackend {
+    fn kind(&self) -> Engine {
+        Engine::Prefilter
+    }
+    fn evsa(&self) -> &Arc<EVsa> {
+        self.0.evsa_arc()
+    }
+    fn eval_scratch(
+        &self,
+        doc: &[u8],
+        cache: &mut DenseCache,
+        stats: &mut PrefilterStats,
+    ) -> SpanRelation {
+        self.0.eval_with(doc, cache, stats)
+    }
+    fn eval_pooled(&self, doc: &[u8]) -> SpanRelation {
+        self.0.eval(doc)
+    }
+}
+
 /// A spanner compiled for repeated evaluation.
 #[derive(Debug, Clone)]
 pub struct ExecSpanner {
     evsa: Arc<EVsa>,
-    /// Dense compilation; `None` for the pure NFA engine. The scan-cache
-    /// pool inside hands one lazy-DFA cache to each concurrent worker.
-    dense: Option<Arc<DenseEvsa>>,
-    /// Prefiltered compilation; `Some` only for [`Engine::Prefilter`]
-    /// (it embeds its own skip-loop-enabled dense engine).
-    prefilter: Option<Arc<PrefilteredEvsa>>,
+    /// The engine behind the object-safe backend interface. The dense
+    /// and prefilter backends pool scan caches internally; executors
+    /// that manage per-worker scratch call
+    /// [`EngineBackend::eval_scratch`] instead.
+    backend: Arc<dyn EngineBackend>,
 }
 
 impl ExecSpanner {
@@ -92,39 +201,36 @@ impl ExecSpanner {
             vsa.functionalize()
         };
         let evsa = Arc::new(EVsa::from_functional(&f));
-        let (dense, prefilter) = match engine {
-            Engine::Nfa => (None, None),
-            Engine::Dense => (
-                Some(Arc::new(DenseEvsa::compile(
-                    evsa.clone(),
-                    DenseConfig::default(),
-                ))),
-                None,
-            ),
-            Engine::Prefilter => (
-                None,
-                Some(Arc::new(PrefilteredEvsa::compile(
-                    evsa.clone(),
-                    DenseConfig::default(),
-                ))),
-            ),
+        ExecSpanner::from_evsa(evsa, engine, None, DenseConfig::default())
+    }
+
+    /// Builds the spanner for an already-compiled automaton, optionally
+    /// indexing the dense tables by a shared byte partition (the fleet
+    /// engine passes the coarsest common refinement across its
+    /// members; see [`DenseEvsa::compile_with_classes`]).
+    pub(crate) fn from_evsa(
+        evsa: Arc<EVsa>,
+        engine: Engine,
+        classes: Option<splitc_automata::classes::ByteClasses>,
+        config: DenseConfig,
+    ) -> ExecSpanner {
+        let backend: Arc<dyn EngineBackend> = match engine {
+            Engine::Nfa => Arc::new(NfaBackend(evsa.clone())),
+            Engine::Dense => Arc::new(DenseBackend(Arc::new(match classes {
+                Some(c) => DenseEvsa::compile_with_classes(evsa.clone(), config, c),
+                None => DenseEvsa::compile(evsa.clone(), config),
+            }))),
+            Engine::Prefilter => Arc::new(PrefilterBackend(Arc::new(match classes {
+                Some(c) => PrefilteredEvsa::compile_with_classes(evsa.clone(), config, c),
+                None => PrefilteredEvsa::compile(evsa.clone(), config),
+            }))),
         };
-        ExecSpanner {
-            evsa,
-            dense,
-            prefilter,
-        }
+        ExecSpanner { evsa, backend }
     }
 
     /// The engine this spanner was compiled for.
     pub fn engine(&self) -> Engine {
-        if self.prefilter.is_some() {
-            Engine::Prefilter
-        } else if self.dense.is_some() {
-            Engine::Dense
-        } else {
-            Engine::Nfa
-        }
+        self.backend.kind()
     }
 
     /// The compiled block-normal-form automaton.
@@ -132,32 +238,15 @@ impl ExecSpanner {
         &self.evsa
     }
 
-    /// The dense compilation, when this spanner uses [`Engine::Dense`].
-    /// Exposed for callers that manage their own per-worker
-    /// [`splitc_spanner::dense::DenseCache`]s (the corpus runner).
-    pub(crate) fn dense(&self) -> Option<&Arc<DenseEvsa>> {
-        self.dense.as_ref()
-    }
-
-    /// The prefiltered compilation, when this spanner uses
-    /// [`Engine::Prefilter`]. Exposed for callers that manage their own
-    /// per-worker caches and [`PrefilterStats`] accumulators (the corpus
-    /// runner).
-    ///
-    /// [`PrefilterStats`]: splitc_spanner::prefilter::PrefilterStats
-    pub(crate) fn prefilter(&self) -> Option<&Arc<PrefilteredEvsa>> {
-        self.prefilter.as_ref()
+    /// The backend, for executors that manage per-worker scratch
+    /// (the corpus and fleet runners).
+    pub(crate) fn backend(&self) -> &Arc<dyn EngineBackend> {
+        &self.backend
     }
 
     /// Evaluates on one document.
     pub fn eval(&self, doc: &[u8]) -> SpanRelation {
-        if let Some(p) = &self.prefilter {
-            return p.eval(doc);
-        }
-        match &self.dense {
-            Some(d) => d.eval(doc),
-            None => eval_evsa(&self.evsa, doc),
-        }
+        self.backend.eval_pooled(doc)
     }
 }
 

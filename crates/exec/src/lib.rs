@@ -24,6 +24,11 @@
 //!   bounded queue with per-worker dense-engine caches
 //!   ([`corpus::CorpusRunner`]) — the shape that scales split-correct
 //!   evaluation to corpora larger than memory.
+//! * **Fused fleet evaluation** ([`fleet`]): many spanners over the
+//!   same corpus in *one* streamed pass — one splitter, one shared byte
+//!   partition, one merged multi-needle literal scan dispatching each
+//!   segment only to the members with evidence in it
+//!   ([`fleet::FleetRunner`]).
 //! * **Batch certification** ([`certify`]): the step *before* any of
 //!   the above — a fleet of `(P, P_S)` pairs sharing one splitter is
 //!   certified split-correct on a worker pool, with the composed
@@ -37,6 +42,7 @@ pub mod annotated;
 pub mod certify;
 pub mod corpus;
 pub mod engine;
+pub mod fleet;
 pub mod incremental;
 pub mod simulate;
 pub mod stream;
@@ -50,6 +56,7 @@ pub use engine::{
     evaluate_many, evaluate_many_split, evaluate_sequential, evaluate_split, Engine, ExecSpanner,
     SplitFn,
 };
+pub use fleet::{Fleet, FleetResult, FleetRunner, FleetStats};
 pub use incremental::IncrementalRunner;
 pub use simulate::{simulate_collection, simulate_split, SimReport};
 pub use stream::{Segment, StreamingSplitter};

@@ -135,3 +135,242 @@ proptest! {
         prop_assert_eq!(got.stats.docs, refs.len());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fused fleet evaluation: differential and metamorphic suites.
+//
+// The fleet engine promises that fusing N spanners into one pass —
+// shared splitter, shared byte partition, shared multi-needle scan —
+// is *invisible* in the results:
+//
+// 3. **Differential**: [`FleetRunner`] equals one [`CorpusRunner`] per
+//    member, for every engine, down to 1-byte streaming chunks and
+//    starved lazy-DFA caches (fallback scans);
+// 4. **Metamorphic**: a member's relation depends only on its own
+//    automaton — permuting, duplicating, or partitioning the fleet
+//    never changes any member's output.
+
+use crate::fleet::{Fleet, FleetRunner};
+use splitc_spanner::byteset::ByteSet;
+use splitc_spanner::dense::DenseConfig;
+use splitc_spanner::rgx::Ast;
+use splitc_spanner::vsa::Vsa;
+use std::sync::Arc;
+
+/// Tiny SplitMix64 stream for seeded fleet generation (the proptest
+/// shim samples the seed; the structure is derived deterministically).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// A random variable-free regex AST over the `{a, b, c, ., any}`
+/// document alphabet, depth-bounded.
+fn rand_boolean_ast(rng: &mut Mix, depth: usize) -> Ast {
+    let leaf = |rng: &mut Mix| match rng.below(6) {
+        0 => Ast::Bytes(ByteSet::single(b'a')),
+        1 => Ast::Bytes(ByteSet::single(b'b')),
+        2 => Ast::Bytes(ByteSet::single(b'c')),
+        3 => Ast::Bytes(ByteSet::from_bytes(b"ab")),
+        4 => Ast::Bytes(ByteSet::FULL),
+        _ => Ast::Epsilon,
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.below(6) {
+        0 | 1 => leaf(rng),
+        2 => Ast::Concat(vec![
+            rand_boolean_ast(rng, depth - 1),
+            rand_boolean_ast(rng, depth - 1),
+        ]),
+        3 => Ast::Alt(vec![
+            rand_boolean_ast(rng, depth - 1),
+            rand_boolean_ast(rng, depth - 1),
+        ]),
+        4 => Ast::Star(Box::new(rand_boolean_ast(rng, depth - 1))),
+        _ => Ast::Opt(Box::new(rand_boolean_ast(rng, depth - 1))),
+    }
+}
+
+/// A random functional spanner: one variable at a fixed slot with
+/// random boolean contexts around it. The pool deliberately spans the
+/// fleet's whole gate spectrum — members with strong literal evidence,
+/// members with only a required byte set, and catch-alls with nothing
+/// for the scanner (always dispatched).
+fn rand_member_vsa(rng: &mut Mix) -> Vsa {
+    let parts = vec![
+        rand_boolean_ast(rng, 2),
+        Ast::Var("x".into(), Box::new(rand_boolean_ast(rng, 2))),
+        rand_boolean_ast(rng, 2),
+    ];
+    Rgx::from_ast(Ast::Concat(parts))
+        .expect("generated variables are well-formed")
+        .to_vsa()
+        .expect("generated AST is functional by construction")
+}
+
+/// A seeded fleet of `n` random spanners.
+fn rand_fleet(seed: u64, n: usize) -> Vec<Vsa> {
+    let mut rng = Mix(seed);
+    (0..n).map(|_| rand_member_vsa(&mut rng)).collect()
+}
+
+fn pick_engine(pick: usize) -> Engine {
+    match pick % 3 {
+        0 => Engine::Nfa,
+        1 => Engine::Dense,
+        _ => Engine::Prefilter,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Differential: the fused runner is byte-identical to one corpus
+    /// runner per member — each independently compiled (own byte
+    /// partition, default cache bound), so the shared partition, shared
+    /// scan, and starved-cache fallback paths are all cross-checked
+    /// against an unfused oracle.
+    #[test]
+    fn fleet_runner_matches_per_member_corpus_runners(
+        seed in 0u64..u64::MAX,
+        n in 1usize..33,
+        docs in proptest::collection::vec(doc_strategy(), 0..5),
+        engine_pick in 0usize..3,
+        chunk_bytes in 1usize..16,
+        workers in 0usize..4,
+        starve_pick in 0usize..2,
+    ) {
+        let starve = starve_pick == 1;
+        let engine = pick_engine(engine_pick);
+        let vsas = rand_fleet(seed, n);
+        let config = CorpusRunnerConfig {
+            workers,
+            batch_bytes: 16,
+            queue_depth: 2,
+            chunk_bytes,
+        };
+        // A 2-state cache bound starves the lazy DFA into its exact
+        // NFA-fallback path mid-corpus; results must not move.
+        let dense = DenseConfig {
+            max_cache_states: if starve { 2 } else { 8192 },
+            skip_loop: false,
+        };
+        let fleet = Arc::new(Fleet::compile_with(&vsas, engine, dense));
+        let runner = FleetRunner::new(fleet, splitter::sentences().compile(), config);
+        let refs: Vec<&[u8]> = docs.iter().map(Vec::as_slice).collect();
+        let got = runner.run_slices(&refs);
+        prop_assert_eq!(got.stats.docs, refs.len());
+        for (mi, vsa) in vsas.iter().enumerate() {
+            let seq = CorpusRunner::new(
+                ExecSpanner::compile_with(vsa, engine),
+                splitter::sentences().compile(),
+                config,
+            );
+            let expected = seq.run_slices(&refs);
+            for (di, rel) in expected.relations.iter().enumerate() {
+                prop_assert_eq!(
+                    &got.relations[di][mi],
+                    rel,
+                    "doc {} member {} under {:?} (starved: {})",
+                    di, mi, engine, starve
+                );
+            }
+        }
+    }
+
+    /// Metamorphic: permuting the fleet permutes the relations and
+    /// nothing else.
+    #[test]
+    fn fleet_is_permutation_invariant(
+        seed in 0u64..u64::MAX,
+        n in 1usize..12,
+        docs in proptest::collection::vec(doc_strategy(), 1..4),
+        engine_pick in 0usize..3,
+        perm_seed in 0u64..u64::MAX,
+    ) {
+        let engine = pick_engine(engine_pick);
+        let vsas = rand_fleet(seed, n);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = Mix(perm_seed);
+        for i in (1..n).rev() {
+            order.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        let permuted: Vec<Vsa> = order.iter().map(|&i| vsas[i].clone()).collect();
+        let fleet = Fleet::compile(&vsas, engine);
+        let pfleet = Fleet::compile(&permuted, engine);
+        for doc in &docs {
+            let base = fleet.eval(doc);
+            let perm = pfleet.eval(doc);
+            for (j, &i) in order.iter().enumerate() {
+                prop_assert_eq!(&perm[j], &base[i], "slot {} came from member {}", j, i);
+            }
+        }
+    }
+
+    /// Metamorphic: duplicating a member changes neither the original's
+    /// relation nor the copy's (identical automata, identical outputs —
+    /// and the duplicate's needles double-enroll in the shared scanner
+    /// without perturbing anyone).
+    #[test]
+    fn fleet_is_duplication_invariant(
+        seed in 0u64..u64::MAX,
+        n in 1usize..12,
+        k_pick in 0u64..u64::MAX,
+        docs in proptest::collection::vec(doc_strategy(), 1..4),
+        engine_pick in 0usize..3,
+    ) {
+        let engine = pick_engine(engine_pick);
+        let vsas = rand_fleet(seed, n);
+        let k = (k_pick % n as u64) as usize;
+        let mut dup = vsas.clone();
+        dup.push(vsas[k].clone());
+        let fleet = Fleet::compile(&vsas, engine);
+        let dfleet = Fleet::compile(&dup, engine);
+        for doc in &docs {
+            let base = fleet.eval(doc);
+            let with_dup = dfleet.eval(doc);
+            for i in 0..n {
+                prop_assert_eq!(&with_dup[i], &base[i], "member {} perturbed by a duplicate", i);
+            }
+            prop_assert_eq!(&with_dup[n], &base[k], "the copy must equal its original");
+        }
+    }
+
+    /// Metamorphic: partitioning the fleet into two sub-fleets and
+    /// concatenating their results equals the full fused pass — fusion
+    /// granularity is unobservable.
+    #[test]
+    fn fleet_is_partition_invariant(
+        seed in 0u64..u64::MAX,
+        n in 2usize..12,
+        cut_pick in 0u64..u64::MAX,
+        docs in proptest::collection::vec(doc_strategy(), 1..4),
+        engine_pick in 0usize..3,
+    ) {
+        let engine = pick_engine(engine_pick);
+        let vsas = rand_fleet(seed, n);
+        let cut = 1 + (cut_pick % (n as u64 - 1)) as usize;
+        let fleet = Fleet::compile(&vsas, engine);
+        let left = Fleet::compile(&vsas[..cut], engine);
+        let right = Fleet::compile(&vsas[cut..], engine);
+        for doc in &docs {
+            let full = fleet.eval(doc);
+            let mut parts = left.eval(doc);
+            parts.extend(right.eval(doc));
+            prop_assert_eq!(&parts, &full);
+        }
+    }
+}

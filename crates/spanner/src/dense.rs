@@ -36,7 +36,12 @@ use splitc_automata::classes::{ByteClassBuilder, ByteClasses};
 use splitc_automata::nfa::StateId;
 use splitc_automata::scan::ByteFinder;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Source of unique per-[`DenseEvsa`] identities, used by
+/// [`DenseCache`] ownership tracking.
+static ENGINE_IDS: AtomicU64 = AtomicU64::new(0);
 
 /// Tuning knobs of the dense engine.
 ///
@@ -163,10 +168,22 @@ impl LazyDfa {
 /// per-position buffer. Caches persist across documents (that is the
 /// point of *lazy* determinization); obtain one per worker via the
 /// compiled automaton's internal pool.
+///
+/// A cache is safe to hand between different compiled engines: every
+/// interned power set and transition row is meaningful only for the
+/// [`DenseEvsa`] that produced it (the state numbering *and* the byte
+/// classes differ across engines), so each engine stamps the caches it
+/// uses with its own identity and resets the lazy DFAs on an ownership
+/// change. Fleets with one cache per member never pay the reset; a
+/// cache shuttled between members (the latent aliasing hazard) degrades
+/// to correct-but-cold scans instead of corrupting results.
 #[derive(Debug, Default)]
 pub struct DenseCache {
     fwd: LazyDfa,
     bwd: LazyDfa,
+    /// Identity of the [`DenseEvsa`] whose lazy-DFA state this cache
+    /// currently holds (`None` = fresh).
+    owner: Option<u64>,
     /// Backward-DFA state id per document position (`len = doc.len()+1`).
     ids_buf: Vec<u32>,
     /// Bytes resolved by the skip-loop scanner instead of table steps.
@@ -206,6 +223,8 @@ impl DenseCache {
 pub struct DenseEvsa {
     evsa: Arc<EVsa>,
     config: DenseConfig,
+    /// Unique identity for [`DenseCache`] ownership checks.
+    engine_id: u64,
     classes: ByteClasses,
     /// Number of byte classes.
     nc: usize,
@@ -246,14 +265,45 @@ fn to_csr<T: Copy>(per_key: Vec<Vec<T>>) -> (Vec<u32>, Vec<T>) {
 }
 
 impl DenseEvsa {
-    /// Compiles the dense tables for `evsa`.
+    /// Compiles the dense tables for `evsa` over the coarsest byte
+    /// partition refining its own transition masks.
     pub fn compile(evsa: Arc<EVsa>, config: DenseConfig) -> DenseEvsa {
-        let ns = evsa.num_states();
         let mut builder = ByteClassBuilder::new();
         for m in evsa.byte_masks() {
             builder.add_set(|b| m.contains(b));
         }
-        let classes = builder.build();
+        DenseEvsa::compile_with_classes(evsa, config, builder.build())
+    }
+
+    /// Compiles the dense tables for `evsa` over a caller-supplied byte
+    /// partition. The fleet engine uses this to index every member's
+    /// tables by one shared partition (the coarsest common refinement
+    /// across all members), so a single `class_of` lookup per scanned
+    /// byte serves the whole fleet.
+    ///
+    /// # Panics
+    ///
+    /// `classes` must **refine** every transition mask of the automaton
+    /// (no class straddles a mask boundary) — simulation over classes is
+    /// exact only under refinement. Violations panic at compile time
+    /// rather than corrupting scans.
+    pub fn compile_with_classes(
+        evsa: Arc<EVsa>,
+        config: DenseConfig,
+        classes: ByteClasses,
+    ) -> DenseEvsa {
+        for m in evsa.byte_masks() {
+            for c in 0..classes.num_classes() {
+                let mut members = classes.bytes_of(c).map(|b| m.contains(b));
+                let first = members.next().expect("classes are non-empty");
+                assert!(
+                    members.all(|x| x == first),
+                    "byte partition does not refine a transition mask \
+                     (class {c} straddles the mask boundary)"
+                );
+            }
+        }
+        let ns = evsa.num_states();
         let nc = classes.num_classes();
         let reps = classes.representatives();
         let words = ns.div_ceil(64);
@@ -313,6 +363,7 @@ impl DenseEvsa {
         DenseEvsa {
             evsa,
             config,
+            engine_id: ENGINE_IDS.fetch_add(1, Ordering::Relaxed),
             classes,
             nc,
             ns,
@@ -332,6 +383,11 @@ impl DenseEvsa {
 
     /// The compiled automaton.
     pub fn evsa(&self) -> &EVsa {
+        &self.evsa
+    }
+
+    /// The compiled automaton behind its shared handle.
+    pub fn evsa_arc(&self) -> &Arc<EVsa> {
         &self.evsa
     }
 
@@ -355,6 +411,21 @@ impl DenseEvsa {
 
     fn return_cache(&self, cache: DenseCache) {
         self.caches.lock().expect("cache pool poisoned").push(cache);
+    }
+
+    /// Binds `cache` to this engine before a scan. A cache last used by
+    /// a *different* `DenseEvsa` holds power sets and transition rows
+    /// over that engine's state numbering and byte classes — reading
+    /// them here would silently corrupt results (or index rows out of
+    /// bounds when the class counts differ). An ownership change resets
+    /// both lazy DFAs; the hit/miss/skip counters survive, as with
+    /// overflow resets.
+    fn adopt(&self, cache: &mut DenseCache) {
+        if cache.owner != Some(self.engine_id) {
+            cache.fwd.clear();
+            cache.bwd.clear();
+            cache.owner = Some(self.engine_id);
+        }
     }
 
     /// Interns a power-set state, or `None` when the memory bound is hit.
@@ -529,6 +600,7 @@ impl DenseEvsa {
         if self.ns == 0 {
             return SpanRelation::empty();
         }
+        self.adopt(cache);
         if self.lazy_viability(doc, cache).is_none() {
             // Cache bound hit: exact fallback via the materialized
             // bitset viability table. Drop the overflowed cache state so
@@ -574,6 +646,7 @@ impl DenseEvsa {
         if self.ns == 0 {
             return false;
         }
+        self.adopt(cache);
         let Some(mut cur) = self.intern(&mut cache.fwd, self.start_set.clone()) else {
             cache.fwd.clear();
             return eval::accepts_evsa(&self.evsa, doc);
@@ -774,8 +847,9 @@ mod tests {
         assert_eq!(rel.tuples()[0].get(VarId(0)), Span::new(0, 0));
     }
 
-    #[test]
-    fn non_ascii_classes() {
+    /// `x{[\x80-\xFF]+}`-shaped spanner built directly over the high
+    /// half of the byte alphabet (the regex layer is ASCII-only).
+    fn hi_range_evsa() -> Arc<EVsa> {
         let mut v = crate::vsa::Vsa::new(crate::vars::VarTable::new(["x"]).unwrap());
         let q1 = v.add_state();
         let q2 = v.add_state();
@@ -792,11 +866,84 @@ mod tests {
             q2,
         );
         v.set_final(q2, true);
-        let e = Arc::new(EVsa::from_functional(&v.functionalize()));
+        Arc::new(EVsa::from_functional(&v.functionalize()))
+    }
+
+    #[test]
+    fn non_ascii_classes() {
+        let e = hi_range_evsa();
         let d = DenseEvsa::compile(e.clone(), DenseConfig::default());
         for doc in [vec![0x80, 0xC3, 0xFF], vec![0x80, 0x20], vec![0x00], vec![]] {
             assert_eq!(d.eval(&doc), eval_evsa(&e, &doc));
         }
+    }
+
+    #[test]
+    fn shared_classes_compile_matches_own_partition() {
+        // A strictly finer partition than the automaton's own still
+        // refines every mask, so results must be identical.
+        let e = compile(".*x{a+}.*");
+        let own = DenseEvsa::compile(e.clone(), DenseConfig::default());
+        let mut builder = ByteClassBuilder::new();
+        for m in e.byte_masks() {
+            builder.add_set(|b| m.contains(b));
+        }
+        builder
+            .add_set(|b: u8| b.is_ascii_digit())
+            .add_set(|b| b == b'q');
+        let shared =
+            DenseEvsa::compile_with_classes(e.clone(), DenseConfig::default(), builder.build());
+        assert!(shared.classes().num_classes() > own.classes().num_classes());
+        for doc in [b"aabaa".as_slice(), b"", b"q9a", b"bbb"] {
+            assert_eq!(shared.eval(doc), own.eval(doc));
+            assert_eq!(shared.accepts(doc), own.accepts(doc));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not refine")]
+    fn non_refining_partition_is_rejected() {
+        // `x{a}` distinguishes 'a' from everything else; the singleton
+        // partition straddles that boundary.
+        DenseEvsa::compile_with_classes(
+            compile("x{a}"),
+            DenseConfig::default(),
+            ByteClasses::singleton(),
+        );
+    }
+
+    #[test]
+    fn cache_ownership_resets_across_engines() {
+        // One cache shuttled between a narrow-alphabet engine and a
+        // wide high-byte engine: different state numberings AND
+        // different class counts. Without the ownership check the
+        // second engine reads the first engine's interned power sets
+        // (silent corruption, or out-of-bounds rows); with it, every
+        // hand-off resets the lazy DFAs and results stay exact.
+        let narrow_e = compile(".*x{a+b}.*");
+        let narrow = DenseEvsa::compile(narrow_e.clone(), DenseConfig::default());
+        let wide_e = hi_range_evsa();
+        let wide = DenseEvsa::compile(wide_e.clone(), DenseConfig::default());
+        assert_ne!(narrow.classes().num_classes(), wide.classes().num_classes());
+        let mut cache = DenseCache::default();
+        let doc_n = b"aabaa";
+        let doc_w = vec![0x80u8, 0xFF, 0x81];
+        for _ in 0..3 {
+            assert_eq!(
+                narrow.eval_with(doc_n, &mut cache),
+                eval_evsa(&narrow_e, doc_n)
+            );
+            assert_eq!(
+                wide.eval_with(&doc_w, &mut cache),
+                eval_evsa(&wide_e, &doc_w)
+            );
+            assert!(narrow.accepts_with(doc_n, &mut cache));
+            assert!(wide.accepts_with(&doc_w, &mut cache));
+        }
+        // Same-engine reuse still never resets: interned states persist.
+        let before = cache.stats();
+        let _ = wide.eval_with(&doc_w, &mut cache);
+        assert!(cache.stats().hits > before.hits);
     }
 
     #[test]

@@ -46,6 +46,16 @@ use std::sync::{Arc, Mutex};
 /// Longest required-prefix literal the analysis extracts.
 const MAX_PREFIX: usize = 16;
 
+/// Longest required *contained* literal the analysis grows from a
+/// required singleton byte.
+const MAX_LITERAL: usize = 12;
+
+/// Largest transition mask whose bytes are tried as literal-extension
+/// candidates. Keyword-shaped spanners force their literal bytes
+/// through tiny (usually singleton) masks; wide masks only describe
+/// contexts and would bloat the candidate set for nothing.
+const MAX_CANDIDATE_MASK: usize = 4;
+
 /// Largest required-byte-set size worth scanning for: a set covering
 /// more than half the alphabet rejects almost nothing, so the gate
 /// drops it rather than paying a scan per document.
@@ -88,6 +98,12 @@ pub struct PrefilterAnalysis {
     /// A byte set every accepted document intersects, when the analysis
     /// found a selective one (at most `MAX_REQUIRED_BYTES` bytes).
     pub required: Option<ByteSet>,
+    /// A literal every accepted document *contains* (anywhere), grown
+    /// from a required singleton byte by product-emptiness checks; empty
+    /// when no single byte is required. A one-byte literal carries no
+    /// information beyond `required` (gates skip it); longer literals
+    /// are what make multi-spanner needle scanning selective.
+    pub literal: Vec<u8>,
 }
 
 impl PrefilterAnalysis {
@@ -95,26 +111,26 @@ impl PrefilterAnalysis {
     /// automaton — negligible next to compilation.
     pub fn analyze(evsa: &EVsa) -> PrefilterAnalysis {
         let min_len = min_match_len(evsa);
-        if min_len == 0 {
-            // The empty document is accepted: nothing is required.
+        if min_len == 0 || min_len == usize::MAX {
+            // Empty document accepted: nothing is required. Empty
+            // language: the length test alone rejects everything.
             return PrefilterAnalysis {
                 min_len,
                 prefix: Vec::new(),
                 required: None,
+                literal: Vec::new(),
             };
         }
+        let required = required_byteset(evsa);
+        let literal = match &required {
+            Some(set) if set.len() == 1 => required_literal(evsa, set.first().expect("singleton")),
+            _ => Vec::new(),
+        };
         PrefilterAnalysis {
             min_len,
-            prefix: if min_len == usize::MAX {
-                Vec::new()
-            } else {
-                required_prefix(evsa)
-            },
-            required: if min_len == usize::MAX {
-                None
-            } else {
-                required_byteset(evsa)
-            },
+            prefix: required_prefix(evsa),
+            required,
+            literal,
         }
     }
 
@@ -126,6 +142,35 @@ impl PrefilterAnalysis {
         self.min_len == 0 && self.prefix.is_empty() && self.required.is_none()
     }
 
+    /// Literal *content needles* for multi-spanner scanning: a set of
+    /// byte strings such that every document with a non-empty relation
+    /// contains at least one of them (at most `max_set` needles).
+    /// `None` means the analysis found no usable content fact, or the
+    /// needle set would be larger than `max_set` — the caller must then
+    /// treat the spanner as always-viable.
+    ///
+    /// Soundness: a non-empty required prefix is in particular a
+    /// *contained* literal, so it alone suffices; a grown required
+    /// literal likewise; otherwise each byte of a small required
+    /// [`ByteSet`] becomes a one-byte needle. All three facts come from
+    /// the emptiness/frontier analyses above, so the needles inherit
+    /// their conservativeness: a document containing no needle provably
+    /// yields an empty relation, while containing one promises nothing.
+    pub fn content_needles(&self, max_set: usize) -> Option<Vec<Vec<u8>>> {
+        if !self.prefix.is_empty() {
+            return Some(vec![self.prefix.clone()]);
+        }
+        if !self.literal.is_empty() {
+            return Some(vec![self.literal.clone()]);
+        }
+        if let Some(set) = &self.required {
+            if set.len() <= max_set {
+                return Some(set.iter().map(|b| vec![b]).collect());
+            }
+        }
+        None
+    }
+
     /// Compiles the analysis into a document gate.
     pub fn gate(&self) -> PrefilterGate {
         PrefilterGate {
@@ -134,6 +179,13 @@ impl PrefilterAnalysis {
             required: self.required.as_ref().map(|set| {
                 let set = *set;
                 ByteFinder::from_predicate(move |b| set.contains(b))
+            }),
+            literal: (self.literal.len() >= 2).then(|| {
+                let first = self.literal[0];
+                (
+                    self.literal.clone(),
+                    ByteFinder::from_predicate(move |b| b == first),
+                )
             }),
         }
     }
@@ -265,12 +317,124 @@ fn class_is_required(evsa: &EVsa, bytes: &ByteSet) -> bool {
     true
 }
 
+/// Grows a required singleton byte into the longest *contained* literal
+/// (capped at [`MAX_LITERAL`]): greedy extension to the right, then to
+/// the left, keeping each candidate word only when the product-emptiness
+/// check proves every accepted document contains it. Extension
+/// candidates are the bytes of small transition masks — the bytes a
+/// keyword-shaped spanner actually forces.
+fn required_literal(evsa: &EVsa, seed: u8) -> Vec<u8> {
+    let mut candidates: Vec<u8> = Vec::new();
+    for m in evsa.byte_masks() {
+        if !m.is_empty() && m.len() <= MAX_CANDIDATE_MASK {
+            for b in m.iter() {
+                if !candidates.contains(&b) {
+                    candidates.push(b);
+                }
+            }
+        }
+    }
+    candidates.sort_unstable();
+    let mut w = vec![seed];
+    loop {
+        if w.len() >= MAX_LITERAL {
+            break;
+        }
+        let grown = candidates.iter().find_map(|&x| {
+            let mut t = w.clone();
+            t.push(x);
+            word_is_required(evsa, &t).then_some(t)
+        });
+        match grown {
+            Some(t) => w = t,
+            None => break,
+        }
+    }
+    loop {
+        if w.len() >= MAX_LITERAL {
+            break;
+        }
+        let grown = candidates.iter().find_map(|&x| {
+            let mut t = Vec::with_capacity(w.len() + 1);
+            t.push(x);
+            t.extend_from_slice(&w);
+            word_is_required(evsa, &t).then_some(t)
+        });
+        match grown {
+            Some(t) => w = t,
+            None => break,
+        }
+    }
+    w
+}
+
+/// Whether every accepted document contains `w` as a substring: the
+/// product of the automaton with the KMP automaton of `w`, restricted
+/// to runs that never complete `w`, must reach no accepting state.
+/// Exact (like [`class_is_required`]) — the product explores every
+/// byte value a transition mask admits.
+fn word_is_required(evsa: &EVsa, w: &[u8]) -> bool {
+    let m = w.len();
+    debug_assert!(m > 0);
+    // KMP failure table and dense per-state byte stepper.
+    let mut fail = vec![0usize; m];
+    for i in 1..m {
+        let mut k = fail[i - 1];
+        while k > 0 && w[i] != w[k] {
+            k = fail[k - 1];
+        }
+        if w[i] == w[k] {
+            k += 1;
+        }
+        fail[i] = k;
+    }
+    let step = |k: usize, b: u8| -> usize {
+        let mut k = k;
+        while k > 0 && b != w[k] {
+            k = fail[k - 1];
+        }
+        if b == w[k] {
+            k + 1
+        } else {
+            0
+        }
+    };
+    let ns = evsa.num_states();
+    let mut seen = vec![false; ns * m];
+    let mut queue = VecDeque::new();
+    let start = evsa.start() as usize * m;
+    seen[start] = true;
+    queue.push_back((evsa.start(), 0usize));
+    while let Some((q, k)) = queue.pop_front() {
+        if !evsa.final_blocks(q).is_empty() {
+            return false; // an accepting run avoiding `w` exists
+        }
+        for (_, mask, r) in evsa.transitions_from(q) {
+            for b in mask.iter() {
+                let k2 = step(k, b);
+                if k2 == m {
+                    continue; // this byte completes `w` — pruned
+                }
+                let idx = *r as usize * m + k2;
+                if !seen[idx] {
+                    seen[idx] = true;
+                    queue.push_back((*r, k2));
+                }
+            }
+        }
+    }
+    true
+}
+
 /// The compiled document-rejection test of a [`PrefilterAnalysis`].
 #[derive(Debug, Clone)]
 pub struct PrefilterGate {
     min_len: usize,
     prefix: Vec<u8>,
     required: Option<ByteFinder>,
+    /// A contained literal of length ≥ 2 (one-byte literals are already
+    /// covered by `required`), plus a SWAR finder for its first byte.
+    literal: Option<(Vec<u8>, ByteFinder)>,
 }
 
 impl PrefilterGate {
@@ -288,6 +452,11 @@ impl PrefilterGate {
                 return true;
             }
         }
+        if let Some((lit, first)) = &self.literal {
+            if !contains_literal(doc, lit, first) {
+                return true;
+            }
+        }
         false
     }
 
@@ -295,6 +464,26 @@ impl PrefilterGate {
     pub fn is_transparent(&self) -> bool {
         self.min_len == 0 && self.prefix.is_empty() && self.required.is_none()
     }
+}
+
+/// Substring search driven by a SWAR finder over the literal's first
+/// byte — the match-sparse shape the gate cares about (the literal's
+/// first byte is itself rare in rejected documents, so the quadratic
+/// worst case never materializes there).
+fn contains_literal(doc: &[u8], lit: &[u8], first: &ByteFinder) -> bool {
+    let mut i = 0;
+    while i + lit.len() <= doc.len() {
+        match first.find(&doc[i..=doc.len() - lit.len()]) {
+            Some(j) => {
+                if doc[i + j..].starts_with(lit) {
+                    return true;
+                }
+                i += j + 1;
+            }
+            None => return false,
+        }
+    }
+    false
 }
 
 /// An [`EVsa`] compiled for the prefiltered engine: the dense engine
@@ -326,6 +515,37 @@ impl PrefilteredEvsa {
                 ..config
             },
         ));
+        PrefilteredEvsa::assemble(dense, analysis, gate)
+    }
+
+    /// Like [`PrefilteredEvsa::compile`], but indexes the dense tables
+    /// by a caller-supplied byte partition (see
+    /// [`DenseEvsa::compile_with_classes`] — the partition must refine
+    /// every transition mask, and the fleet engine passes the coarsest
+    /// common refinement across all members).
+    pub fn compile_with_classes(
+        evsa: Arc<EVsa>,
+        config: DenseConfig,
+        classes: splitc_automata::classes::ByteClasses,
+    ) -> PrefilteredEvsa {
+        let analysis = PrefilterAnalysis::analyze(&evsa);
+        let gate = analysis.gate();
+        let dense = Arc::new(DenseEvsa::compile_with_classes(
+            evsa,
+            DenseConfig {
+                skip_loop: true,
+                ..config
+            },
+            classes,
+        ));
+        PrefilteredEvsa::assemble(dense, analysis, gate)
+    }
+
+    fn assemble(
+        dense: Arc<DenseEvsa>,
+        analysis: PrefilterAnalysis,
+        gate: PrefilterGate,
+    ) -> PrefilteredEvsa {
         PrefilteredEvsa {
             dense,
             analysis,
@@ -353,6 +573,11 @@ impl PrefilteredEvsa {
     /// The compiled automaton.
     pub fn evsa(&self) -> &EVsa {
         self.dense.evsa()
+    }
+
+    /// The compiled automaton behind its shared handle.
+    pub fn evsa_arc(&self) -> &Arc<EVsa> {
+        self.dense.evsa_arc()
     }
 
     /// Snapshot of the statistics accumulated by the pooled entry points
@@ -482,6 +707,71 @@ mod tests {
         let a = PrefilterAnalysis::analyze(&compile(".*x{a+}.*"));
         assert_eq!(a.min_len, 1);
         assert_eq!(a.required, Some(ByteSet::single(b'a')));
+    }
+
+    #[test]
+    fn literal_grows_from_the_required_byte() {
+        // Keyword extractor: every accepted document contains "qab".
+        let a = PrefilterAnalysis::analyze(&compile(".*x{qab[0-9]+}.*"));
+        assert_eq!(a.literal, b"qab".to_vec());
+        assert!(a.prefix.is_empty(), "the .* context forbids a prefix");
+        // The literal feeds both the gate and the needle extraction.
+        assert_eq!(a.content_needles(16), Some(vec![b"qab".to_vec()]));
+        let gate = a.gate();
+        assert!(gate.rejects(b"qa ba qb aq but never the word"));
+        assert!(!gate.rejects(b"here qab7 lives"));
+        // Multi-byte required sets grow no literal.
+        let a = PrefilterAnalysis::analyze(&compile("(.*[^0-9]|)x{[0-9]+}([^0-9].*|)"));
+        assert!(a.literal.is_empty());
+        // Gate + engine equivalence on literal-gated documents.
+        let e = compile(".*x{qab[0-9]+}.*");
+        let p = PrefilteredEvsa::compile(e.clone(), DenseConfig::default());
+        for doc in [
+            b"qab1 and qab22".as_slice(),
+            b"qa b a b q no hit",
+            b"qab", // literal present, but no digit: false candidate
+            b"",
+        ] {
+            assert_eq!(p.eval(doc), eval_evsa(&e, doc));
+        }
+    }
+
+    #[test]
+    fn content_needles_prefer_the_prefix_literal() {
+        // Forced prefix: the single needle is the literal itself.
+        let a = PrefilterAnalysis::analyze(&compile("ab(x{c+})d.*"));
+        assert_eq!(a.content_needles(16), Some(vec![b"abc".to_vec()]));
+        // Required byte set: one single-byte needle per member.
+        let a = PrefilterAnalysis::analyze(&compile("(.*[^0-9]|)x{[0-9]+}([^0-9].*|)"));
+        let needles = a.content_needles(16).expect("digits required");
+        assert_eq!(needles.len(), 10);
+        assert!(needles.contains(&vec![b'0']));
+        // ...but not when the set exceeds the cap.
+        assert_eq!(a.content_needles(4), None);
+        // Trivial analysis: no needles.
+        assert_eq!(
+            PrefilterAnalysis::analyze(&compile(".*x{}.*")).content_needles(16),
+            None
+        );
+    }
+
+    #[test]
+    fn shared_classes_prefilter_matches_own_partition() {
+        let e = compile("(.*[^0-9]|)x{[0-9]+}([^0-9].*|)");
+        let own = PrefilteredEvsa::compile(e.clone(), DenseConfig::default());
+        let mut builder = ByteClassBuilder::new();
+        for m in e.byte_masks() {
+            builder.add_set(|b| m.contains(b));
+        }
+        builder.add_set(|b: u8| b.is_ascii_lowercase());
+        let shared = PrefilteredEvsa::compile_with_classes(
+            e.clone(),
+            DenseConfig::default(),
+            builder.build(),
+        );
+        for doc in [b"x 12 y".as_slice(), b"plain", b"", b"7"] {
+            assert_eq!(shared.eval(doc), own.eval(doc));
+        }
     }
 
     #[test]

@@ -375,6 +375,85 @@ pub fn http_log(n: usize, seed: u64) -> Vec<u8> {
     out.into_bytes()
 }
 
+/// The 24-letter base alphabet of the fleet keywords: lowercase letters
+/// minus `q` (every keyword *starts* with `q`, so a base `q` would let
+/// keywords prefix each other) and minus `i` (the only syllable of the
+/// barren text containing `q` is `qi`, so excluding `i` guarantees no
+/// generated word ever contains a keyword).
+const KEYWORD_BASE: &[u8] = b"abcdefghjklmnoprstuvwxyz";
+
+/// The `i`-th fleet keyword: `q` plus two base letters (`qaa`, `qab`,
+/// …) — up to 576 distinct keywords, none a substring of another or of
+/// any barren token.
+pub fn fleet_keyword(i: usize) -> String {
+    assert!(
+        i < KEYWORD_BASE.len() * KEYWORD_BASE.len(),
+        "keyword index {i} out of range"
+    );
+    let hi = KEYWORD_BASE[i / KEYWORD_BASE.len()] as char;
+    let lo = KEYWORD_BASE[i % KEYWORD_BASE.len()] as char;
+    format!("q{hi}{lo}")
+}
+
+/// A keyword-mention document for the fleet benchmark: the barren
+/// Wikipedia-like shape of [`sparse_number_corpus`], except each
+/// sentence independently carries one `<keyword><number>` token (a
+/// uniformly chosen keyword of the `n_keywords`-member fleet) with
+/// probability `1/needle_every`. `needle_every == 1` yields the dense
+/// flavor (every sentence mentions a keyword); larger values yield
+/// match-sparse corpora where most sentences concern no member at all.
+pub fn keyword_corpus(cfg: &CorpusConfig, n_keywords: usize, needle_every: usize) -> Vec<u8> {
+    assert!(n_keywords > 0 && needle_every > 0);
+    let barren = CorpusConfig {
+        number_rate: 0.0,
+        ..cfg.clone()
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = String::with_capacity(cfg.target_bytes + 1024);
+    while out.len() < cfg.target_bytes {
+        let mut para = String::new();
+        for i in 0..cfg.paragraph_sentences {
+            if i > 0 {
+                para.push(' ');
+            }
+            para.push_str(&sentence(&mut rng, &barren));
+            if rng.gen_range(0..needle_every) == 0 {
+                let kw = fleet_keyword(rng.gen_range(0..n_keywords));
+                para.push_str(&format!(" {kw}{}", rng.gen_range(1..100000)));
+            }
+            para.push('.');
+        }
+        if !out.is_empty() {
+            out.push_str("\n\n");
+        }
+        out.push_str(&para);
+    }
+    out.into_bytes()
+}
+
+/// A corpus of `n` independent keyword-mention documents (document `i`
+/// uses seed `cfg.seed + i`), mirroring [`sparse_number_shards`] for
+/// the fleet workload.
+pub fn keyword_corpus_shards(
+    n: usize,
+    cfg: &CorpusConfig,
+    n_keywords: usize,
+    needle_every: usize,
+) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| {
+            keyword_corpus(
+                &CorpusConfig {
+                    seed: cfg.seed.wrapping_add(i as u64),
+                    ..cfg.clone()
+                },
+                n_keywords,
+                needle_every,
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,7 +21,7 @@ pub mod corpus;
 pub mod spanners;
 
 pub use corpus::{
-    articles_corpus, http_log, pubmed_corpus, reviews_corpus, skewed_articles_corpus,
-    sparse_number_corpus, sparse_number_shards, wiki_corpus, wiki_corpus_chunks,
-    wiki_corpus_shards, CorpusConfig, WikiChunks,
+    articles_corpus, fleet_keyword, http_log, keyword_corpus, keyword_corpus_shards, pubmed_corpus,
+    reviews_corpus, skewed_articles_corpus, sparse_number_corpus, sparse_number_shards,
+    wiki_corpus, wiki_corpus_chunks, wiki_corpus_shards, CorpusConfig, WikiChunks,
 };

@@ -88,6 +88,25 @@ pub fn host_date_fixed() -> Vsa {
     )
 }
 
+/// The fleet-member extractor for keyword `i` of
+/// [`crate::corpus::fleet_keyword`]: spans of `<keyword><digits>`
+/// mention tokens, anywhere in the segment. The keyword is a required
+/// literal of the automaton, so the prefilter analysis recovers it and
+/// the fleet engine enrolls it in the shared multi-needle scanner.
+pub fn keyword_extractor(i: usize) -> Vsa {
+    let kw = crate::corpus::fleet_keyword(i);
+    Rgx::parse(&format!(".*x{{{kw}[0-9]+}}.*"))
+        .unwrap()
+        .to_vsa()
+        .unwrap()
+}
+
+/// The first `n` keyword extractors — a ready-made fleet for the
+/// `e7_fleet` benchmark and the fleet example.
+pub fn keyword_fleet(n: usize) -> Vec<Vsa> {
+    (0..n).map(keyword_extractor).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,13 +13,19 @@ the largest needle `scale` point (the family whose determinization
 grows as 2^k; small points are overhead-dominated by design, the gate
 is the asymptotic one), and that — when e6 rows are present — the
 prefiltered engine beats the dense engine by the required factor on the
-sparse collection workload.
+sparse collection workload, and that — when e7 rows are present — the
+fused fleet engine beats sequential per-spanner evaluation by the
+required factor at the 50-member sparse point (`e7_fleet/sparse`,
+`scale` 50 — the catalog size where one shared scan pass amortizes
+across enough members to matter, judged on the match-sparse flavor
+where pruning is the point).
 
 Scaling gates key on each row's `scale` field, not on bench-name
 suffixes or row positions.
 
 Usage: scripts/bench_check.py BENCH_pr.json [min-speedup] \
-           [min-stream-ratio] [min-cert-speedup] [min-prefilter-speedup]
+           [min-stream-ratio] [min-cert-speedup] [min-prefilter-speedup] \
+           [min-fleet-speedup]
 """
 import json
 import sys
@@ -40,6 +46,7 @@ def main() -> int:
     min_stream_ratio = float(sys.argv[3]) if len(sys.argv) > 3 else 0.0
     min_cert_speedup = float(sys.argv[4]) if len(sys.argv) > 4 else 0.0
     min_prefilter_speedup = float(sys.argv[5]) if len(sys.argv) > 5 else 0.0
+    min_fleet_speedup = float(sys.argv[6]) if len(sys.argv) > 6 else 0.0
     rows = []
     with open(path) as f:
         for line in f:
@@ -128,6 +135,29 @@ def main() -> int:
             return 1
     elif min_prefilter_speedup > 0.0:
         print("prefilter gate requested but no e6 rows with both engines")
+        return 1
+
+    # Fused fleet vs sequential per-spanner passes, judged at the
+    # 50-member sparse point (the gated catalog size; other sizes and
+    # the dense flavor are reported, not gated).
+    fleet = {}
+    for row in rows:
+        if row["bench"] == "e7_fleet/sparse":
+            fleet.setdefault(row["scale"], {})[row["engine"]] = row["wall_ms"]
+    gated = {k: e for k, e in fleet.items()
+             if "fused" in e and "sequential" in e}
+    if 50 in gated:
+        seq = gated[50]["sequential"]
+        fused = gated[50]["fused"]
+        speedup = seq / max(fused, 1e-9)
+        print(f"e7_fleet/sparse (scale=50): sequential {seq:.2f} ms, "
+              f"fused {fused:.2f} ms -> {speedup:.2f}x")
+        if speedup < min_fleet_speedup:
+            print(f"fused fleet speedup {speedup:.2f}x at 50 members is "
+                  f"below the required {min_fleet_speedup:.2f}x")
+            return 1
+    elif min_fleet_speedup > 0.0:
+        print("fleet gate requested but no e7_fleet/sparse rows at scale 50")
         return 1
 
     print(f"OK: {len(rows)} rows; best dense speedup {best:.2f}x on {best_bench}")

@@ -44,6 +44,9 @@ run e5_corpus_stream prefilter
 # Emits both dense and prefilter rows itself (collection + streaming
 # variants); the --engine flag is accepted-and-ignored for uniformity.
 run e6_sparse_prefilter dense
+# Emits fused + sequential rows for every (flavor x fleet size) point
+# itself; the --engine flag is accepted-and-ignored for uniformity.
+run e7_fleet prefilter
 run t2_splitcorrect_scaling dense
 # Emits both certification engines (antichain + determinize) itself;
 # the --engine flag is accepted-and-ignored for uniformity.

@@ -354,3 +354,56 @@ fn regular_preconditions_main_path() {
     assert_eq!(mat.split(b"abc").len(), 1, "single-token doc splits whole");
     assert!(mat.split(b"ab.cd").is_empty(), "filtered out");
 }
+
+/// `examples/fleet_extraction.rs`: the fused fleet agrees member for
+/// member with sequential per-member corpus runs, the catalog's
+/// keywords all enroll in the shared scanner, and the dispatch stats
+/// show most (segment, member) pairs never touched an engine.
+#[test]
+fn fleet_extraction_main_path() {
+    let n = 8;
+    let catalog = spanners::keyword_fleet(n);
+    let s = splitters::sentences();
+    assert!(self_splittable(&catalog[0], &s).unwrap().holds());
+
+    let fleet = Arc::new(Fleet::compile(&catalog, Engine::Prefilter));
+    assert_eq!(fleet.num_members(), n);
+    assert!(
+        fleet.num_needles() >= n,
+        "every keyword is a required literal and must enroll"
+    );
+
+    let cfg = CorpusConfig {
+        target_bytes: 16 << 10,
+        seed: 0xF1EE7,
+        ..Default::default()
+    };
+    let docs = textgen::keyword_corpus_shards(2, &cfg, n, 8);
+    let refs: Vec<&[u8]> = docs.iter().map(Vec::as_slice).collect();
+    let runner = FleetRunner::new(fleet, s.compile(), CorpusRunnerConfig::default());
+    let fused = runner.run_slices(&refs);
+
+    let mut tuples = 0;
+    for (mi, member) in catalog.iter().enumerate() {
+        let seq = CorpusRunner::new(
+            ExecSpanner::compile_with(member, Engine::Prefilter),
+            s.compile(),
+            CorpusRunnerConfig::default(),
+        )
+        .run_slices(&refs);
+        for (di, rel) in seq.relations.iter().enumerate() {
+            assert_eq!(&fused.relations[di][mi], rel, "doc {di} member {mi}");
+            tuples += rel.len();
+        }
+    }
+    assert!(tuples > 0, "the corpus mentions catalog keywords");
+
+    let st = &fused.stats;
+    let pairs = (st.segments * n) as u64;
+    assert_eq!(st.dispatches + st.gate_rejected + st.scan_rejected, pairs);
+    assert!(
+        st.dispatches * 4 < pairs,
+        "most pairs are pruned without an engine dispatch: {st:?}"
+    );
+    assert!(st.fan_out() < n as f64 / 4.0);
+}
