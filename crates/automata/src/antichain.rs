@@ -42,6 +42,7 @@ use crate::dfa::{Dfa, DEAD};
 use crate::nfa::{Nfa, StateId, Sym};
 use crate::ops::Containment;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Search statistics of one antichain containment run (exposed for the
 /// benchmark binaries and for tests asserting that pruning happens).
@@ -59,6 +60,46 @@ pub struct AntichainStats {
     pub classes: usize,
     /// Raw alphabet size, for reporting the collapse factor.
     pub alphabet: usize,
+}
+
+/// Process-lifetime totals across every antichain containment run, for
+/// long-running services that want to report aggregate search effort
+/// (e.g. a certification server's `/stats` endpoint). Individual runs
+/// report their own [`AntichainStats`]; these counters simply sum them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CumulativeAntichainStats {
+    /// Containment runs completed since process start.
+    pub runs: u64,
+    /// Total macro-states expanded across all runs.
+    pub explored: u64,
+    /// Total candidates pruned by subsumption across all runs.
+    pub pruned: u64,
+    /// Total `B`-subsets interned across all runs.
+    pub subsets: u64,
+}
+
+static CUM_RUNS: AtomicU64 = AtomicU64::new(0);
+static CUM_EXPLORED: AtomicU64 = AtomicU64::new(0);
+static CUM_PRUNED: AtomicU64 = AtomicU64::new(0);
+static CUM_SUBSETS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-lifetime antichain counters. Monotone
+/// non-decreasing; concurrent runs are each counted exactly once, on
+/// completion.
+pub fn cumulative_stats() -> CumulativeAntichainStats {
+    CumulativeAntichainStats {
+        runs: CUM_RUNS.load(Ordering::Relaxed),
+        explored: CUM_EXPLORED.load(Ordering::Relaxed),
+        pruned: CUM_PRUNED.load(Ordering::Relaxed),
+        subsets: CUM_SUBSETS.load(Ordering::Relaxed),
+    }
+}
+
+fn record_run(stats: &AntichainStats) {
+    CUM_RUNS.fetch_add(1, Ordering::Relaxed);
+    CUM_EXPLORED.fetch_add(stats.explored as u64, Ordering::Relaxed);
+    CUM_PRUNED.fetch_add(stats.pruned as u64, Ordering::Relaxed);
+    CUM_SUBSETS.fetch_add(stats.subsets as u64, Ordering::Relaxed);
 }
 
 /// Decides `L(a) ⊆ L(b)` by the antichain-pruned lazy subset search,
@@ -157,6 +198,7 @@ pub fn contains_with_stats(a: &Nfa, b: &Nfa) -> (Containment, AntichainStats) {
             let (_, qa, tid) = parents[node];
             if a.is_final(qa) && !subsets.is_final(tid) {
                 stats.subsets = subsets.len();
+                record_run(&stats);
                 return (
                     Containment::Counterexample(reconstruct(&parents, node)),
                     stats,
@@ -196,6 +238,7 @@ pub fn contains_with_stats(a: &Nfa, b: &Nfa) -> (Containment, AntichainStats) {
         }
     }
     stats.subsets = subsets.len();
+    record_run(&stats);
     (Containment::Contained, stats)
 }
 
@@ -539,6 +582,20 @@ mod tests {
             Containment::Counterexample(w) => assert_eq!(w.len(), 1),
             Containment::Contained => panic!("not contained"),
         }
+    }
+
+    #[test]
+    fn cumulative_counters_are_monotone() {
+        let before = cumulative_stats();
+        let n = needle(6);
+        let (_, run) = contains_with_stats(&n, &n);
+        let after = cumulative_stats();
+        // Other tests run concurrently, so assert monotone growth by at
+        // least this run's contribution rather than exact deltas.
+        assert!(after.runs > before.runs);
+        assert!(after.explored >= before.explored + run.explored as u64);
+        assert!(after.pruned >= before.pruned + run.pruned as u64);
+        assert!(after.subsets >= before.subsets + run.subsets as u64);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod ops;
 pub mod scan;
 pub mod unambiguous;
 
-pub use antichain::AntichainStats;
+pub use antichain::{cumulative_stats, AntichainStats, CumulativeAntichainStats};
 pub use classes::{ByteClassBuilder, ByteClasses};
 pub use dfa::Dfa;
 pub use nfa::{Nfa, StateId, Sym};

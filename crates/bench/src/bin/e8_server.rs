@@ -1,0 +1,308 @@
+//! E8 — extraction-as-a-service: registration/certification caching and
+//! concurrent `/extract` throughput of `splitc-server`.
+//!
+//! The serving layer's promise is that certification is paid *once per
+//! (spanner, splitter) pair per process*, not once per request: the
+//! first `/certify` (or checked `/extract`) of a pair runs the
+//! antichain decision procedure; every later request is a cache lookup.
+//! This benchmark measures both halves against an in-process
+//! [`splitc_server::Server`] over loopback:
+//!
+//! * **Registration** (`e8_server/registration`, engines `cold` /
+//!   `warm`, `scale` = fleet size): register a catalog of N spanners, a
+//!   splitter, and the fleet, then `/certify` the pair. `cold` is the
+//!   first pass on a fresh server (compiles + N antichain
+//!   certifications); `warm` repeats the identical sequence on the same
+//!   server (every step a cache hit). The CI gate requires `warm` to
+//!   beat `cold` by the configured factor at the largest fleet size.
+//! * **Extraction** (`e8_server/extract`, `scale` = concurrent
+//!   clients): C keep-alive clients each issue a burst of `/extract`
+//!   requests over a fixed corpus; the row's wall time is the whole
+//!   burst. `e8_server/throughput` re-expresses the largest-C point as
+//!   a requests/second floor (`scale` = request count).
+//!
+//! The `--engine` flag selects the evaluation engine for the extraction
+//! rows (registration rows always emit `cold`/`warm`).
+
+use splitc_bench::{bench_json, engine_arg, ms, scaled, time, time_best, x, Table};
+use splitc_server::{Client, Json, Server, ServerConfig};
+use splitc_textgen::{wiki_corpus, CorpusConfig};
+
+use std::time::Duration;
+
+/// Distinct two-letter catalog patterns: member `i` extracts
+/// `x{<c1><c2>+}` runs. All certify against the sentence splitter.
+fn catalog(n: usize) -> Vec<String> {
+    const FIRST: &[u8] = b"abcde";
+    const SECOND: &[u8] = b"fghij";
+    assert!(
+        n <= FIRST.len() * SECOND.len(),
+        "catalog alphabet exhausted"
+    );
+    (0..n)
+        .map(|i| {
+            format!(
+                ".*x{{{}{}+}}.*",
+                FIRST[i % FIRST.len()] as char,
+                SECOND[i / FIRST.len()] as char
+            )
+        })
+        .collect()
+}
+
+/// One registration + certification pass: registers the splitter, all
+/// catalog members, the fleet, and certifies the (fleet, splitter)
+/// pair. Returns whether the certify response was served from cache.
+fn register_and_certify(client: &mut Client, patterns: &[String]) -> bool {
+    let (status, splitter) = client
+        .post(
+            "/splitters",
+            &Json::obj(vec![("builtin", Json::str("sentences"))]),
+        )
+        .expect("register splitter");
+    assert_eq!(status, 200, "splitter: {splitter}");
+    let mut members = Vec::with_capacity(patterns.len());
+    for p in patterns {
+        let (status, spanner) = client
+            .post(
+                "/spanners",
+                &Json::obj(vec![("pattern", Json::str(p.clone()))]),
+            )
+            .expect("register spanner");
+        assert_eq!(status, 200, "spanner {p}: {spanner}");
+        members.push(Json::Str(
+            spanner
+                .get("id")
+                .and_then(Json::as_str)
+                .expect("id")
+                .to_string(),
+        ));
+    }
+    let (status, fleet) = client
+        .post("/fleets", &Json::obj(vec![("members", Json::Arr(members))]))
+        .expect("register fleet");
+    assert_eq!(status, 200, "fleet: {fleet}");
+    let fleet_id = fleet.get("id").and_then(Json::as_str).expect("fleet id");
+    let splitter_id = splitter
+        .get("id")
+        .and_then(Json::as_str)
+        .expect("splitter id");
+    let (status, verdict) = client
+        .post(
+            "/certify",
+            &Json::obj(vec![
+                ("fleet", Json::str(fleet_id)),
+                ("splitter", Json::str(splitter_id)),
+            ]),
+        )
+        .expect("certify");
+    assert_eq!(status, 200, "certify: {verdict}");
+    assert_eq!(
+        verdict.get("holds").and_then(Json::as_bool),
+        Some(true),
+        "catalog patterns must be self-split-correct: {verdict}"
+    );
+    verdict
+        .get("cached")
+        .and_then(Json::as_bool)
+        .expect("cached flag")
+}
+
+fn spawn_server(workers: usize) -> Server {
+    Server::spawn(ServerConfig {
+        port: 0,
+        workers,
+        queue_depth: 64,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server")
+}
+
+fn main() {
+    let engine = engine_arg();
+    let fleet_sizes = [4usize, 12, 24];
+    let clients = [1usize, 2, 4, 8];
+    let max_clients = *clients.iter().max().unwrap();
+    let requests_per_client = 4usize;
+
+    // -- Registration / certification: cold vs warm ------------------
+    let mut reg_table = Table::new(
+        "E8 — registration + certification, cold vs warm cache",
+        &["fleet", "cold ms", "warm ms", "speedup"],
+    );
+    for &n in &fleet_sizes {
+        let patterns = catalog(n);
+        let server = spawn_server(2);
+        let mut client = Client::new(server.addr());
+        let (cold_cached, cold_wall) = time(|| register_and_certify(&mut client, &patterns));
+        assert!(!cold_cached, "fresh server must certify, not hit the cache");
+        let (warm_cached, warm_wall) =
+            time_best(3, || register_and_certify(&mut client, &patterns));
+        assert!(warm_cached, "second pass must be served from the cache");
+        bench_json("e8_server/registration", "cold", 0, n as f64, cold_wall, 0);
+        bench_json("e8_server/registration", "warm", 0, n as f64, warm_wall, 0);
+        reg_table.row(&[
+            format!("{n}"),
+            ms(cold_wall),
+            ms(warm_wall),
+            x(cold_wall.as_secs_f64() / warm_wall.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    reg_table.print();
+
+    // -- Concurrent /extract throughput ------------------------------
+    let per_doc = scaled(48 << 10).max(4 << 10);
+    let docs: Vec<String> = (0..4u64)
+        .map(|i| {
+            let cfg = CorpusConfig {
+                target_bytes: per_doc,
+                seed: 0xE8 + i,
+                ..Default::default()
+            };
+            String::from_utf8(wiki_corpus(&cfg)).expect("wiki corpus is UTF-8")
+        })
+        .collect();
+    let payload_bytes: usize = docs.iter().map(String::len).sum();
+
+    // Thread-per-connection serving: each keep-alive client pins one
+    // connection worker, so size the pool to the widest client count.
+    let server = spawn_server(max_clients);
+    let addr = server.addr();
+    let mut setup = Client::new(addr);
+    let (status, spanner) = setup
+        .post(
+            "/spanners",
+            &Json::obj(vec![
+                ("pattern", Json::str(".*x{a+}.*")),
+                ("engine", Json::str(engine.name())),
+            ]),
+        )
+        .expect("register spanner");
+    assert_eq!(status, 200, "spanner: {spanner}");
+    let (status, splitter) = setup
+        .post(
+            "/splitters",
+            &Json::obj(vec![("builtin", Json::str("sentences"))]),
+        )
+        .expect("register splitter");
+    assert_eq!(status, 200, "splitter: {splitter}");
+    let spanner_id = spanner
+        .get("id")
+        .and_then(Json::as_str)
+        .expect("id")
+        .to_string();
+    let splitter_id = splitter
+        .get("id")
+        .and_then(Json::as_str)
+        .expect("id")
+        .to_string();
+    let request = Json::obj(vec![
+        ("spanner", Json::str(spanner_id.clone())),
+        ("splitter", Json::str(splitter_id.clone())),
+        (
+            "docs",
+            Json::Arr(docs.iter().map(|d| Json::str(d.clone())).collect()),
+        ),
+    ]);
+    // First request certifies the pair; everything after hits the cache.
+    let (status, warmup) = setup.post("/extract", &request).expect("warmup extract");
+    assert_eq!(status, 200, "warmup: {warmup}");
+
+    let mut ext_table = Table::new(
+        &format!(
+            "E8 — concurrent /extract, {requests_per_client} requests/client, \
+             {:.1} KiB/request ({})",
+            payload_bytes as f64 / 1024.0,
+            engine.name(),
+        ),
+        &["clients", "requests", "wall ms", "req/s", "tuples"],
+    );
+    let mut largest: Option<(usize, Duration, usize)> = None;
+    for &c in &clients {
+        let (tuples, wall) = time(|| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..c)
+                    .map(|_| {
+                        let request = &request;
+                        scope.spawn(move || {
+                            let mut client = Client::new(addr);
+                            let mut tuples = 0usize;
+                            for _ in 0..requests_per_client {
+                                let (status, body) =
+                                    client.post("/extract", request).expect("extract");
+                                assert_eq!(status, 200, "extract: {body}");
+                                let relations = body
+                                    .get("relations")
+                                    .and_then(Json::as_arr)
+                                    .expect("relations");
+                                tuples += relations
+                                    .iter()
+                                    .filter_map(Json::as_arr)
+                                    .map(|r| r.len())
+                                    .sum::<usize>();
+                            }
+                            tuples
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread"))
+                    .sum::<usize>()
+            })
+        });
+        let requests = c * requests_per_client;
+        bench_json(
+            "e8_server/extract",
+            engine.name(),
+            payload_bytes * requests,
+            c as f64,
+            wall,
+            tuples,
+        );
+        ext_table.row(&[
+            format!("{c}"),
+            format!("{requests}"),
+            ms(wall),
+            format!("{:.1}", requests as f64 / wall.as_secs_f64().max(1e-9)),
+            format!("{tuples}"),
+        ]);
+        largest = Some((requests, wall, tuples));
+    }
+    ext_table.print();
+
+    // The largest-C point re-expressed for the req/s floor gate
+    // (`scale` = request count, so rps = scale / wall_s).
+    let (requests, wall, tuples) = largest.expect("at least one client count");
+    bench_json(
+        "e8_server/throughput",
+        engine.name(),
+        payload_bytes * requests,
+        requests as f64,
+        wall,
+        tuples,
+    );
+
+    // Surface the service's own accounting: the whole burst section
+    // must have certified exactly once.
+    let (status, stats) = setup.get("/stats").expect("stats");
+    assert_eq!(status, 200);
+    println!(
+        "\nService stats after the burst: cert_cache {}, pool {}",
+        stats
+            .get("registry")
+            .and_then(|r| r.get("cert_cache"))
+            .map(|c| c.to_string())
+            .unwrap_or_default(),
+        stats.get("pool").map(|p| p.to_string()).unwrap_or_default(),
+    );
+    println!(
+        "\nShape check: warm registration+certification is pure cache\n\
+         lookups (no antichain runs, no compiles) and collapses by orders\n\
+         of magnitude vs cold; /extract throughput scales with client\n\
+         count until the worker pool saturates. The CI gate asserts the\n\
+         warm-vs-cold floor at the largest fleet size and a lenient\n\
+         req/s floor at the widest client count; recorded quiet-host\n\
+         factors live in BENCH_pr7.json."
+    );
+}

@@ -24,6 +24,7 @@
 
 pub mod annotated;
 pub mod blackbox;
+pub mod cache;
 pub mod cover;
 pub mod error;
 pub mod filters;
@@ -32,6 +33,7 @@ pub mod split_correctness;
 pub mod splittability;
 pub(crate) mod util;
 
+pub use cache::{content_hash, CertCache, CertCacheStats, CertKey};
 pub use cover::{cover_condition, cover_condition_df};
 pub use error::CertError;
 pub use split_correctness::{

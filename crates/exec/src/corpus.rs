@@ -17,7 +17,8 @@
 //! evaluation of `P` — the differential proptest suite asserts equality
 //! with [`crate::evaluate_many_split`] on every run.
 
-use crate::engine::ExecSpanner;
+use crate::engine::{EngineBackend, ExecSpanner};
+use crate::pool::EvalPool;
 use crate::stream::{Segment, StreamingSplitter};
 use parking_lot::Mutex;
 use splitc_spanner::dense::{DenseCache, DenseCacheStats};
@@ -26,6 +27,7 @@ use splitc_spanner::splitter::CompiledSplitter;
 use splitc_spanner::tuple::{SpanRelation, SpanTuple};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
 
 /// Tuning knobs of a [`CorpusRunner`].
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +57,23 @@ impl Default for CorpusRunnerConfig {
             batch_bytes: 32 << 10,
             queue_depth: 8,
             chunk_bytes: 64 << 10,
+        }
+    }
+}
+
+impl CorpusRunnerConfig {
+    /// Returns a copy with every zero knob normalized to its minimum
+    /// legal value (1). This is *the* normalization every runner entry
+    /// point applies — callers holding possibly-zero configured values
+    /// can pass them straight through, and services that want a typed
+    /// rejection instead can validate up front (see
+    /// `splitc-server`'s config layer) rather than rely on panics.
+    pub fn normalized(self) -> CorpusRunnerConfig {
+        CorpusRunnerConfig {
+            workers: self.workers.max(1),
+            batch_bytes: self.batch_bytes.max(1),
+            queue_depth: self.queue_depth.max(1),
+            chunk_bytes: self.chunk_bytes.max(1),
         }
     }
 }
@@ -111,6 +130,10 @@ pub struct CorpusRunner {
     spanner: ExecSpanner,
     splitter: CompiledSplitter,
     config: CorpusRunnerConfig,
+    /// Shared long-lived worker pool. `None` spawns per-run threads
+    /// (the batch-job shape); services reuse one [`EvalPool`] across
+    /// requests via [`CorpusRunner::with_pool`].
+    pool: Option<Arc<EvalPool>>,
 }
 
 impl CorpusRunner {
@@ -127,6 +150,27 @@ impl CorpusRunner {
             spanner,
             splitter,
             config,
+            pool: None,
+        }
+    }
+
+    /// [`CorpusRunner::new`], but evaluation workers run on the shared
+    /// long-lived `pool` instead of per-run spawned threads. Results are
+    /// identical; only the thread lifecycle differs — a server reusing
+    /// one pool across requests pays zero spawn/join per request. A pool
+    /// smaller than `config.workers` still completes every run (worker
+    /// loops are self-draining; see [`crate::pool`]).
+    pub fn with_pool(
+        spanner: ExecSpanner,
+        splitter: CompiledSplitter,
+        config: CorpusRunnerConfig,
+        pool: Arc<EvalPool>,
+    ) -> CorpusRunner {
+        CorpusRunner {
+            spanner,
+            splitter,
+            config,
+            pool: Some(pool),
         }
     }
 
@@ -145,91 +189,119 @@ impl CorpusRunner {
         C: IntoIterator<Item = B>,
         B: AsRef<[u8]>,
     {
-        let workers = self.config.workers.max(1);
+        let config = self.config.normalized();
+        let workers = config.workers;
         let mut stats = CorpusStats::default();
         let mut partials: Vec<(usize, Vec<SpanTuple>)> = Vec::new();
         let mut cache_stats = DenseCacheStats::default();
         let mut prefilter_stats = PrefilterStats::default();
 
-        let (tx, rx) = sync_channel::<Batch>(self.config.queue_depth.max(1));
-        let rx = Mutex::new(rx);
+        let (tx, rx) = sync_channel::<Batch>(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
         // Set when any worker's evaluation panics. Workers keep draining
         // the queue afterwards (without evaluating), so the producer's
         // blocking `send` on the bounded queue can never deadlock; the
-        // panic is re-raised below once the scope has unwound cleanly.
-        let failed = AtomicBool::new(false);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| scope.spawn(|| self.worker(&rx, &failed)))
-                .collect();
-
-            // Producer: split on the calling thread, dispatch batches.
-            // Accumulates segments (across document boundaries) until the
-            // batch payload target is reached, then blocks on the bounded
-            // queue — that block is the backpressure that caps in-flight
-            // memory.
-            struct Producer<'a> {
-                tx: std::sync::mpsc::SyncSender<Batch>,
-                batch: Vec<(usize, Segment)>,
-                batch_bytes: usize,
-                target: usize,
-                stats: &'a mut CorpusStats,
-            }
-            impl Producer<'_> {
-                fn segment(&mut self, di: usize, seg: Segment) {
-                    self.stats.segments += 1;
-                    self.stats.segment_bytes += seg.bytes.len() as u64;
-                    self.batch_bytes += seg.bytes.len();
-                    self.batch.push((di, seg));
-                    if self.batch_bytes >= self.target {
-                        self.flush();
-                    }
-                }
-                fn flush(&mut self) {
-                    if self.batch.is_empty() {
-                        return;
-                    }
-                    self.stats.batches += 1;
-                    self.batch_bytes = 0;
-                    let _ = self.tx.send(Batch {
-                        segments: std::mem::take(&mut self.batch),
-                    });
-                }
-            }
-            let mut producer = Producer {
-                tx,
-                batch: Vec::new(),
-                batch_bytes: 0,
-                target: self.config.batch_bytes.max(1),
-                stats: &mut stats,
+        // panic is re-raised below once every worker has reported.
+        let failed = Arc::new(AtomicBool::new(false));
+        // Worker contexts are fully owned (`Arc` clones of the backend,
+        // queue, and failure flag), so the same loop runs on a shared
+        // long-lived [`EvalPool`] or on per-run spawned threads.
+        let (out_tx, out_rx) = std::sync::mpsc::channel::<WorkerOutput>();
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let backend = self.spanner.backend().clone();
+            let rx = rx.clone();
+            let failed = failed.clone();
+            let out_tx = out_tx.clone();
+            let job = move || {
+                let _ = out_tx.send(worker_loop(&backend, &rx, &failed));
             };
-            for (di, doc) in docs.into_iter().enumerate() {
-                producer.stats.docs += 1;
-                let mut splitter = StreamingSplitter::new(&self.splitter);
-                for chunk in doc {
-                    for seg in splitter.push(chunk.as_ref()) {
-                        producer.segment(di, seg);
-                    }
+            match &self.pool {
+                Some(pool) => pool.execute(Box::new(job)),
+                None => handles.push(std::thread::spawn(job)),
+            }
+        }
+        drop(out_tx);
+
+        // Producer: split on the calling thread, dispatch batches.
+        // Accumulates segments (across document boundaries) until the
+        // batch payload target is reached, then blocks on the bounded
+        // queue — that block is the backpressure that caps in-flight
+        // memory.
+        struct Producer<'a> {
+            tx: std::sync::mpsc::SyncSender<Batch>,
+            batch: Vec<(usize, Segment)>,
+            batch_bytes: usize,
+            target: usize,
+            stats: &'a mut CorpusStats,
+        }
+        impl Producer<'_> {
+            fn segment(&mut self, di: usize, seg: Segment) {
+                self.stats.segments += 1;
+                self.stats.segment_bytes += seg.bytes.len() as u64;
+                self.batch_bytes += seg.bytes.len();
+                self.batch.push((di, seg));
+                if self.batch_bytes >= self.target {
+                    self.flush();
                 }
-                producer.stats.peak_buffered_bytes = producer
-                    .stats
-                    .peak_buffered_bytes
-                    .max(splitter.peak_buffered_bytes());
-                producer.stats.prefilter.bytes_skipped += splitter.bytes_skipped();
-                for seg in splitter.finish() {
+            }
+            fn flush(&mut self) {
+                if self.batch.is_empty() {
+                    return;
+                }
+                self.stats.batches += 1;
+                self.batch_bytes = 0;
+                let _ = self.tx.send(Batch {
+                    segments: std::mem::take(&mut self.batch),
+                });
+            }
+        }
+        let mut producer = Producer {
+            tx,
+            batch: Vec::new(),
+            batch_bytes: 0,
+            target: config.batch_bytes,
+            stats: &mut stats,
+        };
+        for (di, doc) in docs.into_iter().enumerate() {
+            producer.stats.docs += 1;
+            let mut splitter = StreamingSplitter::new(&self.splitter);
+            for chunk in doc {
+                for seg in splitter.push(chunk.as_ref()) {
                     producer.segment(di, seg);
                 }
             }
-            producer.flush();
-            drop(producer);
-
-            for h in handles {
-                let (tuples, cache, prefilter) = h.join().expect("corpus worker panicked");
-                partials.extend(tuples);
-                cache_stats = cache_stats.merge(cache);
-                prefilter_stats = prefilter_stats.merge(prefilter);
+            producer.stats.peak_buffered_bytes = producer
+                .stats
+                .peak_buffered_bytes
+                .max(splitter.peak_buffered_bytes());
+            producer.stats.prefilter.bytes_skipped += splitter.bytes_skipped();
+            for seg in splitter.finish() {
+                producer.segment(di, seg);
             }
-        });
+        }
+        producer.flush();
+        drop(producer);
+
+        // Collect exactly one report per worker. A worker that died
+        // before reporting (a panic outside the catch — a bug) shows up
+        // as a disconnected channel and is surfaced as a failure.
+        for _ in 0..workers {
+            match out_rx.recv() {
+                Ok((tuples, cache, prefilter)) => {
+                    partials.extend(tuples);
+                    cache_stats = cache_stats.merge(cache);
+                    prefilter_stats = prefilter_stats.merge(prefilter);
+                }
+                Err(_) => {
+                    failed.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
         assert!(
             !failed.load(Ordering::Relaxed),
             "a corpus worker panicked while evaluating a batch"
@@ -258,54 +330,60 @@ impl CorpusRunner {
         let chunk = self.config.chunk_bytes.max(1);
         self.run_streams(docs.iter().map(|d| d.chunks(chunk)))
     }
+}
 
-    /// One evaluation worker: drains the queue, evaluates each segment
-    /// with a worker-local dense cache, and returns shifted tuples
-    /// grouped by document index. Evaluation panics are caught and
-    /// recorded in `failed` — the worker then keeps draining (without
-    /// evaluating) so the producer never deadlocks on the bounded queue.
-    fn worker(
-        &self,
-        rx: &Mutex<Receiver<Batch>>,
-        failed: &AtomicBool,
-    ) -> (
-        Vec<(usize, Vec<SpanTuple>)>,
-        DenseCacheStats,
-        PrefilterStats,
-    ) {
-        let mut cache = DenseCache::default();
-        let mut prefilter_stats = PrefilterStats::default();
-        let mut out: Vec<(usize, Vec<SpanTuple>)> = Vec::new();
-        loop {
-            // Hold the lock across `recv`: batches are coarse, so the
-            // serialization this imposes on the pop path is noise, and it
-            // keeps the pool free of a lock-free queue dependency.
-            let batch = match rx.lock().recv() {
-                Ok(b) => b,
-                Err(_) => break, // producer hung up and queue drained
-            };
-            if failed.load(Ordering::Relaxed) {
-                continue; // drain-only after a failure elsewhere
-            }
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let mut local_out: Vec<(usize, Vec<SpanTuple>)> = Vec::new();
-                let backend = self.spanner.backend();
-                for (di, seg) in batch.segments {
-                    let local = backend.eval_scratch(&seg.bytes, &mut cache, &mut prefilter_stats);
-                    let tuples: Vec<SpanTuple> = local.iter().map(|t| t.shift(seg.span)).collect();
-                    if !tuples.is_empty() {
-                        local_out.push((di, tuples));
-                    }
-                }
-                local_out
-            }));
-            match result {
-                Ok(tuples) => out.extend(tuples),
-                Err(_) => failed.store(true, Ordering::Relaxed),
-            }
+/// What one worker hands back when the queue drains.
+type WorkerOutput = (
+    Vec<(usize, Vec<SpanTuple>)>,
+    DenseCacheStats,
+    PrefilterStats,
+);
+
+/// One evaluation worker: drains the queue, evaluates each segment
+/// with a worker-local dense cache, and returns shifted tuples
+/// grouped by document index. Evaluation panics are caught and
+/// recorded in `failed` — the worker then keeps draining (without
+/// evaluating) so the producer never deadlocks on the bounded queue.
+///
+/// A free function over owned/shared contexts (not a method) so the
+/// same loop body runs on per-run threads and on a long-lived
+/// [`EvalPool`].
+fn worker_loop(
+    backend: &Arc<dyn EngineBackend>,
+    rx: &Mutex<Receiver<Batch>>,
+    failed: &AtomicBool,
+) -> WorkerOutput {
+    let mut cache = DenseCache::default();
+    let mut prefilter_stats = PrefilterStats::default();
+    let mut out: Vec<(usize, Vec<SpanTuple>)> = Vec::new();
+    loop {
+        // Hold the lock across `recv`: batches are coarse, so the
+        // serialization this imposes on the pop path is noise, and it
+        // keeps the pool free of a lock-free queue dependency.
+        let batch = match rx.lock().recv() {
+            Ok(b) => b,
+            Err(_) => break, // producer hung up and queue drained
+        };
+        if failed.load(Ordering::Relaxed) {
+            continue; // drain-only after a failure elsewhere
         }
-        (out, cache.stats(), prefilter_stats)
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut local_out: Vec<(usize, Vec<SpanTuple>)> = Vec::new();
+            for (di, seg) in batch.segments {
+                let local = backend.eval_scratch(&seg.bytes, &mut cache, &mut prefilter_stats);
+                let tuples: Vec<SpanTuple> = local.iter().map(|t| t.shift(seg.span)).collect();
+                if !tuples.is_empty() {
+                    local_out.push((di, tuples));
+                }
+            }
+            local_out
+        }));
+        match result {
+            Ok(tuples) => out.extend(tuples),
+            Err(_) => failed.store(true, Ordering::Relaxed),
+        }
     }
+    (out, cache.stats(), prefilter_stats)
 }
 
 #[cfg(test)]
@@ -474,5 +552,52 @@ mod tests {
         let got = r.run_slices(&[]);
         assert!(got.relations.is_empty());
         assert_eq!(got.stats, CorpusStats::default());
+    }
+
+    #[test]
+    fn pooled_runner_matches_spawned_runner() {
+        let owned = docs();
+        let refs: Vec<&[u8]> = owned.iter().map(Vec::as_slice).collect();
+        let config = CorpusRunnerConfig {
+            workers: 3,
+            batch_bytes: 4,
+            queue_depth: 2,
+            chunk_bytes: 3,
+        };
+        let spawned = runner(".*x{a+}.*", config).run_slices(&refs);
+        // A shared pool, reused across several requests — including one
+        // *smaller* than the requested worker count (self-draining
+        // loops must still complete the run).
+        for pool_size in [1, 2, 8] {
+            let pool = std::sync::Arc::new(EvalPool::new(pool_size));
+            for _request in 0..3 {
+                let r = CorpusRunner::with_pool(
+                    ExecSpanner::compile(&vsa(".*x{a+}.*")),
+                    splitter::sentences().compile(),
+                    config,
+                    pool.clone(),
+                );
+                let got = r.run_slices(&refs);
+                assert_eq!(got.relations, spawned.relations, "pool size {pool_size}");
+            }
+            assert!(pool.stats().submitted >= 3, "pool was actually used");
+        }
+    }
+
+    #[test]
+    fn config_normalization() {
+        let zeroed = CorpusRunnerConfig {
+            workers: 0,
+            batch_bytes: 0,
+            queue_depth: 0,
+            chunk_bytes: 0,
+        }
+        .normalized();
+        assert_eq!(zeroed.workers, 1);
+        assert_eq!(zeroed.batch_bytes, 1);
+        assert_eq!(zeroed.queue_depth, 1);
+        assert_eq!(zeroed.chunk_bytes, 1);
+        let kept = CorpusRunnerConfig::default().normalized();
+        assert_eq!(kept.workers, CorpusRunnerConfig::default().workers);
     }
 }

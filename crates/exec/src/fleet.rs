@@ -30,6 +30,7 @@
 //! [`DenseEvsa::compile_with_classes`]: splitc_spanner::dense::DenseEvsa::compile_with_classes
 
 use crate::engine::{Engine, ExecSpanner};
+use crate::pool::EvalPool;
 use crate::stream::{Segment, StreamingSplitter};
 use parking_lot::Mutex;
 use splitc_automata::classes::{ByteClassBuilder, ByteClasses};
@@ -418,6 +419,10 @@ pub struct FleetRunner {
     fleet: Arc<Fleet>,
     splitter: CompiledSplitter,
     config: crate::corpus::CorpusRunnerConfig,
+    /// Shared long-lived worker pool. `None` spawns per-run threads;
+    /// services reuse one [`EvalPool`] across requests via
+    /// [`FleetRunner::with_pool`].
+    pool: Option<Arc<EvalPool>>,
 }
 
 impl FleetRunner {
@@ -435,6 +440,25 @@ impl FleetRunner {
             fleet,
             splitter,
             config,
+            pool: None,
+        }
+    }
+
+    /// [`FleetRunner::new`], but fused evaluation workers run on the
+    /// shared long-lived `pool` instead of per-run spawned threads —
+    /// identical results, zero thread spawn/join per request (see
+    /// [`crate::CorpusRunner::with_pool`]).
+    pub fn with_pool(
+        fleet: Arc<Fleet>,
+        splitter: CompiledSplitter,
+        config: crate::corpus::CorpusRunnerConfig,
+        pool: Arc<EvalPool>,
+    ) -> FleetRunner {
+        FleetRunner {
+            fleet,
+            splitter,
+            config,
+            pool: Some(pool),
         }
     }
 
@@ -471,7 +495,8 @@ impl FleetRunner {
                 },
             };
         }
-        let workers = self.config.workers.max(1);
+        let config = self.config.normalized();
+        let workers = config.workers;
         let n_members = self.fleet.members.len();
         let mut stats = FleetStats {
             candidates: vec![0; n_members],
@@ -481,65 +506,90 @@ impl FleetRunner {
         let mut cache_stats = DenseCacheStats::default();
         let mut tallies: Vec<Tally> = Vec::new();
 
-        let (tx, rx) = sync_channel::<Batch>(self.config.queue_depth.max(1));
-        let rx = Mutex::new(rx);
+        let (tx, rx) = sync_channel::<Batch>(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
         // Same drain-on-panic protocol as the corpus runner: a worker
         // that panics keeps draining without evaluating, so the
         // producer's blocking send can never deadlock.
-        let failed = AtomicBool::new(false);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| scope.spawn(|| self.worker(&rx, &failed)))
-                .collect();
+        let failed = Arc::new(AtomicBool::new(false));
+        // Owned worker contexts, so the loop runs on a shared long-lived
+        // [`EvalPool`] or on per-run spawned threads (see CorpusRunner).
+        let (out_tx, out_rx) = std::sync::mpsc::channel::<WorkerOutput>();
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let fleet = self.fleet.clone();
+            let rx = rx.clone();
+            let failed = failed.clone();
+            let out_tx = out_tx.clone();
+            let job = move || {
+                let _ = out_tx.send(fleet_worker_loop(&fleet, &rx, &failed));
+            };
+            match &self.pool {
+                Some(pool) => pool.execute(Box::new(job)),
+                None => handles.push(std::thread::spawn(job)),
+            }
+        }
+        drop(out_tx);
 
-            let mut batch: Vec<(usize, Segment)> = Vec::new();
-            let mut batch_bytes = 0usize;
-            let target = self.config.batch_bytes.max(1);
-            for (di, doc) in docs.into_iter().enumerate() {
-                stats.docs += 1;
-                let mut splitter = StreamingSplitter::new(&self.splitter);
-                let handle = |seg: Segment,
-                              batch: &mut Vec<(usize, Segment)>,
-                              batch_bytes: &mut usize,
-                              stats: &mut FleetStats| {
-                    stats.segments += 1;
-                    stats.segment_bytes += seg.bytes.len() as u64;
-                    *batch_bytes += seg.bytes.len();
-                    batch.push((di, seg));
-                    if *batch_bytes >= target {
-                        stats.batches += 1;
-                        *batch_bytes = 0;
-                        let _ = tx.send(Batch {
-                            segments: std::mem::take(batch),
-                        });
-                    }
-                };
-                for chunk in doc {
-                    for seg in splitter.push(chunk.as_ref()) {
-                        handle(seg, &mut batch, &mut batch_bytes, &mut stats);
-                    }
+        let mut batch: Vec<(usize, Segment)> = Vec::new();
+        let mut batch_bytes = 0usize;
+        let target = config.batch_bytes;
+        for (di, doc) in docs.into_iter().enumerate() {
+            stats.docs += 1;
+            let mut splitter = StreamingSplitter::new(&self.splitter);
+            let handle = |seg: Segment,
+                          batch: &mut Vec<(usize, Segment)>,
+                          batch_bytes: &mut usize,
+                          stats: &mut FleetStats| {
+                stats.segments += 1;
+                stats.segment_bytes += seg.bytes.len() as u64;
+                *batch_bytes += seg.bytes.len();
+                batch.push((di, seg));
+                if *batch_bytes >= target {
+                    stats.batches += 1;
+                    *batch_bytes = 0;
+                    let _ = tx.send(Batch {
+                        segments: std::mem::take(batch),
+                    });
                 }
-                stats.peak_buffered_bytes = stats
-                    .peak_buffered_bytes
-                    .max(splitter.peak_buffered_bytes());
-                stats.prefilter.bytes_skipped += splitter.bytes_skipped();
-                for seg in splitter.finish() {
+            };
+            for chunk in doc {
+                for seg in splitter.push(chunk.as_ref()) {
                     handle(seg, &mut batch, &mut batch_bytes, &mut stats);
                 }
             }
-            if !batch.is_empty() {
-                stats.batches += 1;
-                let _ = tx.send(Batch { segments: batch });
+            stats.peak_buffered_bytes = stats
+                .peak_buffered_bytes
+                .max(splitter.peak_buffered_bytes());
+            stats.prefilter.bytes_skipped += splitter.bytes_skipped();
+            for seg in splitter.finish() {
+                handle(seg, &mut batch, &mut batch_bytes, &mut stats);
             }
-            drop(tx);
+        }
+        if !batch.is_empty() {
+            stats.batches += 1;
+            let _ = tx.send(Batch { segments: batch });
+        }
+        drop(tx);
 
-            for h in handles {
-                let (tuples, cache, tally) = h.join().expect("fleet worker panicked");
-                partials.extend(tuples);
-                cache_stats = cache_stats.merge(cache);
-                tallies.push(tally);
+        // Exactly one report per worker; a disconnect before all have
+        // reported means a worker died outside the catch (a bug).
+        for _ in 0..workers {
+            match out_rx.recv() {
+                Ok((tuples, cache, tally)) => {
+                    partials.extend(tuples);
+                    cache_stats = cache_stats.merge(cache);
+                    tallies.push(tally);
+                }
+                Err(_) => {
+                    failed.store(true, Ordering::Relaxed);
+                    break;
+                }
             }
-        });
+        }
+        for h in handles {
+            let _ = h.join();
+        }
         assert!(
             !failed.load(Ordering::Relaxed),
             "a fleet worker panicked while evaluating a batch"
@@ -581,47 +631,52 @@ impl FleetRunner {
         let chunk = self.config.chunk_bytes.max(1);
         self.run_streams(docs.iter().map(|d| d.chunks(chunk)))
     }
+}
 
-    /// One fused evaluation worker: drains the queue and runs the fused
-    /// per-segment pass with worker-local scratch, returning shifted
-    /// tuples keyed by `(doc, member)`.
-    fn worker(&self, rx: &Mutex<Receiver<Batch>>, failed: &AtomicBool) -> WorkerOutput {
-        let mut scratch = self.fleet.new_scratch();
-        let mut tally = self.fleet.new_tally();
-        let mut out: Vec<(usize, usize, Vec<SpanTuple>)> = Vec::new();
-        loop {
-            let batch = match rx.lock().recv() {
-                Ok(b) => b,
-                Err(_) => break, // producer hung up and queue drained
-            };
-            if failed.load(Ordering::Relaxed) {
-                continue; // drain-only after a failure elsewhere
-            }
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let mut local: Vec<(usize, usize, Vec<SpanTuple>)> = Vec::new();
-                for (di, seg) in &batch.segments {
-                    self.fleet
-                        .eval_segment(&seg.bytes, &mut scratch, &mut tally, |mi, rel| {
-                            if !rel.is_empty() {
-                                let tuples: Vec<SpanTuple> =
-                                    rel.iter().map(|t| t.shift(seg.span)).collect();
-                                local.push((*di, mi, tuples));
-                            }
-                        });
-                }
-                local
-            }));
-            match result {
-                Ok(tuples) => out.extend(tuples),
-                Err(_) => failed.store(true, Ordering::Relaxed),
-            }
+/// One fused evaluation worker: drains the queue and runs the fused
+/// per-segment pass with worker-local scratch, returning shifted
+/// tuples keyed by `(doc, member)`. A free function over owned/shared
+/// contexts so the same loop runs on per-run threads and on a
+/// long-lived [`EvalPool`].
+fn fleet_worker_loop(
+    fleet: &Arc<Fleet>,
+    rx: &Mutex<Receiver<Batch>>,
+    failed: &AtomicBool,
+) -> WorkerOutput {
+    let mut scratch = fleet.new_scratch();
+    let mut tally = fleet.new_tally();
+    let mut out: Vec<(usize, usize, Vec<SpanTuple>)> = Vec::new();
+    loop {
+        let batch = match rx.lock().recv() {
+            Ok(b) => b,
+            Err(_) => break, // producer hung up and queue drained
+        };
+        if failed.load(Ordering::Relaxed) {
+            continue; // drain-only after a failure elsewhere
         }
-        let cache = scratch
-            .caches
-            .iter()
-            .fold(DenseCacheStats::default(), |acc, c| acc.merge(c.stats()));
-        (out, cache, tally)
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut local: Vec<(usize, usize, Vec<SpanTuple>)> = Vec::new();
+            for (di, seg) in &batch.segments {
+                fleet.eval_segment(&seg.bytes, &mut scratch, &mut tally, |mi, rel| {
+                    if !rel.is_empty() {
+                        let tuples: Vec<SpanTuple> =
+                            rel.iter().map(|t| t.shift(seg.span)).collect();
+                        local.push((*di, mi, tuples));
+                    }
+                });
+            }
+            local
+        }));
+        match result {
+            Ok(tuples) => out.extend(tuples),
+            Err(_) => failed.store(true, Ordering::Relaxed),
+        }
     }
+    let cache = scratch
+        .caches
+        .iter()
+        .fold(DenseCacheStats::default(), |acc, c| acc.merge(c.stats()));
+    (out, cache, tally)
 }
 
 #[cfg(test)]
@@ -805,6 +860,33 @@ mod tests {
         }
         let nfa = fleet_of(&PATS, Engine::Nfa);
         assert!(nfa.shared_classes().is_none());
+    }
+
+    #[test]
+    fn pooled_fleet_runner_matches_spawned() {
+        let owned = docs();
+        let refs: Vec<&[u8]> = owned.iter().map(Vec::as_slice).collect();
+        let config = CorpusRunnerConfig {
+            workers: 3,
+            batch_bytes: 4,
+            queue_depth: 2,
+            chunk_bytes: 3,
+        };
+        let fleet = Arc::new(fleet_of(&PATS, Engine::Prefilter));
+        let spawned = FleetRunner::new(fleet.clone(), splitter::sentences().compile(), config)
+            .run_slices(&refs);
+        let pool = Arc::new(EvalPool::new(2));
+        for _request in 0..3 {
+            let pooled = FleetRunner::with_pool(
+                fleet.clone(),
+                splitter::sentences().compile(),
+                config,
+                pool.clone(),
+            )
+            .run_slices(&refs);
+            assert_eq!(pooled.relations, spawned.relations);
+        }
+        assert!(pool.stats().submitted >= 3);
     }
 
     #[test]

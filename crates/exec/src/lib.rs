@@ -34,6 +34,13 @@
 //!   certified split-correct on a worker pool, with the composed
 //!   spanners memoized across pairs and the antichain containment
 //!   engine on the general route ([`certify::certify_many`]).
+//! * **Long-lived worker pools** ([`pool`]): [`pool::EvalPool`] is a
+//!   reusable self-draining thread pool the runners share via
+//!   [`corpus::CorpusRunner::with_pool`] /
+//!   [`fleet::FleetRunner::with_pool`] — a service handling many
+//!   requests pays thread spawn/teardown once per process instead of
+//!   once per call (the default constructors still spawn per-call
+//!   workers, so one-shot uses are unchanged).
 //!
 //! The repository's top-level `ARCHITECTURE.md` shows where this crate
 //! sits in the full pipeline (regex → VSA/eVSA → engines → execution).
@@ -44,6 +51,7 @@ pub mod corpus;
 pub mod engine;
 pub mod fleet;
 pub mod incremental;
+pub mod pool;
 pub mod simulate;
 pub mod stream;
 
@@ -58,6 +66,7 @@ pub use engine::{
 };
 pub use fleet::{Fleet, FleetResult, FleetRunner, FleetStats};
 pub use incremental::IncrementalRunner;
+pub use pool::{EvalPool, EvalPoolStats};
 pub use simulate::{simulate_collection, simulate_split, SimReport};
 pub use stream::{Segment, StreamingSplitter};
 

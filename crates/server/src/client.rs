@@ -1,0 +1,156 @@
+//! A small blocking HTTP/1.1 client for the service protocol.
+//!
+//! Used by the integration tests and the `e8_server` benchmark; it
+//! speaks exactly the subset the server implements (JSON bodies,
+//! `Content-Length`, keep-alive) over one persistent connection per
+//! [`Client`].
+
+use crate::json::Json;
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A persistent-connection client.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+/// A client-side failure (transport or protocol).
+#[derive(Debug)]
+pub struct ClientError(pub String);
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "client error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl Client {
+    /// A client for the server at `addr`. The connection is opened
+    /// lazily on the first request and reused (keep-alive) afterwards.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr, stream: None }
+    }
+
+    /// POSTs `body` to `path`; returns `(status, parsed body)`.
+    pub fn post(&mut self, path: &str, body: &Json) -> Result<(u16, Json), ClientError> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// GETs `path`; returns `(status, parsed body)`.
+    pub fn get(&mut self, path: &str) -> Result<(u16, Json), ClientError> {
+        self.request("GET", path, None)
+    }
+
+    fn connect(&mut self) -> Result<&mut BufReader<TcpStream>, ClientError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)
+                .map_err(|e| ClientError(format!("connect {}: {e}", self.addr)))?;
+            // Requests go out as one write; disable Nagle so keep-alive
+            // round-trips are not throttled by delayed ACKs.
+            let _ = stream.set_nodelay(true);
+            self.stream = Some(BufReader::new(stream));
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<(u16, Json), ClientError> {
+        // One transparent retry on a fresh connection: the server may
+        // have dropped a kept-alive socket between requests.
+        match self.request_once(method, path, body) {
+            Ok(r) => Ok(r),
+            Err(_) if self.stream.is_none() => self.request_once(method, path, body),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<(u16, Json), ClientError> {
+        let payload = body.map(|b| b.to_string()).unwrap_or_default();
+        let had_stream = self.stream.is_some();
+        let reader = self.connect()?;
+        let wire = format!(
+            "{method} {path} HTTP/1.1\r\nHost: splitc\r\nContent-Length: {}\r\n\r\n{payload}",
+            payload.len(),
+        );
+        let outcome = (|| -> std::io::Result<(u16, bool, Vec<u8>)> {
+            reader.get_mut().write_all(wire.as_bytes())?;
+            reader.get_mut().flush()?;
+
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            let status: u16 = line
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("bad status line {line:?}"),
+                    )
+                })?;
+            let mut content_length = 0usize;
+            let mut close = false;
+            loop {
+                let mut header = String::new();
+                reader.read_line(&mut header)?;
+                let header = header.trim_end();
+                if header.is_empty() {
+                    break;
+                }
+                if let Some((name, value)) = header.split_once(':') {
+                    let name = name.trim().to_ascii_lowercase();
+                    if name == "content-length" {
+                        content_length = value.trim().parse().map_err(|_| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                "bad content-length",
+                            )
+                        })?;
+                    } else if name == "connection" && value.trim().eq_ignore_ascii_case("close") {
+                        close = true;
+                    }
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            Ok((status, close, body))
+        })();
+        match outcome {
+            Ok((status, close, body)) => {
+                if close {
+                    self.stream = None;
+                }
+                let text = String::from_utf8(body)
+                    .map_err(|_| ClientError("non-utf8 response body".into()))?;
+                let parsed =
+                    Json::parse(&text).map_err(|e| ClientError(format!("bad response: {e}")))?;
+                Ok((status, parsed))
+            }
+            Err(e) => {
+                // A dead kept-alive socket is retryable; report whether
+                // the failure happened on a reused connection by
+                // clearing the stream so `request` retries fresh.
+                self.stream = None;
+                if had_stream {
+                    Err(ClientError(format!("request on kept-alive socket: {e}")))
+                } else {
+                    Err(ClientError(format!("{method} {path}: {e}")))
+                }
+            }
+        }
+    }
+}

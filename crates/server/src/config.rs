@@ -1,0 +1,253 @@
+//! Server configuration with typed validation.
+//!
+//! Every knob is validated up front into a [`ConfigError`] — a bad
+//! `--workers 0` is a diagnosable startup failure, never a panic deep
+//! inside a runner (the execution crate's own policy is to *normalize*
+//! zeros; the service's policy is to *reject* them, because a zero here
+//! is an operator typo, not a computed edge case).
+
+use std::fmt;
+
+/// Configuration of a [`crate::server::Server`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// TCP port to bind on 127.0.0.1. `0` asks the OS for an ephemeral
+    /// port (the bound address is reported by
+    /// [`crate::server::Server::addr`] and printed by the binary).
+    pub port: u16,
+    /// Size of the shared evaluation pool *and* the number of
+    /// connection-handling threads.
+    pub workers: usize,
+    /// Admission queue capacity, in pending connections. When the
+    /// queue is full, new connections are refused with `429`.
+    pub queue_depth: usize,
+    /// Target batch payload for corpus runs, in bytes.
+    pub batch_bytes: usize,
+    /// Largest accepted request body, in bytes (`413` beyond).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            port: 7878,
+            workers: 4,
+            queue_depth: 32,
+            batch_bytes: 32 << 10,
+            max_body_bytes: 16 << 20,
+        }
+    }
+}
+
+/// Why a [`ServerConfig`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `workers` was 0.
+    ZeroWorkers,
+    /// `workers` exceeded the sanity cap.
+    TooManyWorkers {
+        /// The requested count.
+        requested: usize,
+        /// The cap.
+        limit: usize,
+    },
+    /// `queue_depth` was 0.
+    ZeroQueueDepth,
+    /// `batch_bytes` was 0.
+    ZeroBatchBytes,
+    /// `max_body_bytes` was too small to carry any request.
+    BodyCapTooSmall,
+    /// A command-line flag had a malformed or missing value.
+    BadFlag {
+        /// The flag as typed.
+        flag: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroWorkers => write!(f, "workers must be at least 1"),
+            ConfigError::TooManyWorkers { requested, limit } => {
+                write!(f, "workers {requested} exceeds the cap of {limit}")
+            }
+            ConfigError::ZeroQueueDepth => write!(f, "queue-depth must be at least 1"),
+            ConfigError::ZeroBatchBytes => write!(f, "batch-bytes must be at least 1"),
+            ConfigError::BodyCapTooSmall => {
+                write!(f, "max body cap must be at least 1024 bytes")
+            }
+            ConfigError::BadFlag { flag, reason } => write!(f, "flag {flag}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Sanity cap on the worker count: far beyond any sensible deployment,
+/// low enough that a unit typo (`--workers 40000`) cannot exhaust
+/// process threads.
+pub const MAX_WORKERS: usize = 1024;
+
+impl ServerConfig {
+    /// Checks every knob, returning the first violation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.workers > MAX_WORKERS {
+            return Err(ConfigError::TooManyWorkers {
+                requested: self.workers,
+                limit: MAX_WORKERS,
+            });
+        }
+        if self.queue_depth == 0 {
+            return Err(ConfigError::ZeroQueueDepth);
+        }
+        if self.batch_bytes == 0 {
+            return Err(ConfigError::ZeroBatchBytes);
+        }
+        if self.max_body_bytes < 1024 {
+            return Err(ConfigError::BodyCapTooSmall);
+        }
+        Ok(())
+    }
+
+    /// Parses `--port N --workers N --queue-depth N --batch-bytes N`
+    /// style flags (the binary's interface) into a validated config.
+    /// Unknown flags are rejected; `--offline` is returned separately.
+    pub fn from_args<I, S>(args: I) -> Result<(ServerConfig, bool), ConfigError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut config = ServerConfig::default();
+        let mut offline = false;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let flag = arg.as_ref().to_string();
+            if flag == "--offline" {
+                offline = true;
+                continue;
+            }
+            let value = args.next().map(|v| v.as_ref().to_string()).ok_or_else(|| {
+                ConfigError::BadFlag {
+                    flag: flag.clone(),
+                    reason: "missing value".into(),
+                }
+            })?;
+            let parse = |value: &str, flag: &str| -> Result<usize, ConfigError> {
+                value.parse().map_err(|_| ConfigError::BadFlag {
+                    flag: flag.to_string(),
+                    reason: format!("not a number: {value:?}"),
+                })
+            };
+            match flag.as_str() {
+                "--port" => {
+                    config.port = value.parse().map_err(|_| ConfigError::BadFlag {
+                        flag,
+                        reason: format!("not a port: {value:?}"),
+                    })?
+                }
+                "--workers" => config.workers = parse(&value, &flag)?,
+                "--queue-depth" => config.queue_depth = parse(&value, &flag)?,
+                "--batch-bytes" => config.batch_bytes = parse(&value, &flag)?,
+                "--max-body-bytes" => config.max_body_bytes = parse(&value, &flag)?,
+                _ => {
+                    return Err(ConfigError::BadFlag {
+                        flag,
+                        reason: "unknown flag".into(),
+                    })
+                }
+            }
+        }
+        config.validate()?;
+        Ok((config, offline))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert_eq!(ServerConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn each_knob_is_validated() {
+        let base = ServerConfig::default();
+        let cases: Vec<(ServerConfig, ConfigError)> = vec![
+            (
+                ServerConfig {
+                    workers: 0,
+                    ..base.clone()
+                },
+                ConfigError::ZeroWorkers,
+            ),
+            (
+                ServerConfig {
+                    workers: MAX_WORKERS + 1,
+                    ..base.clone()
+                },
+                ConfigError::TooManyWorkers {
+                    requested: MAX_WORKERS + 1,
+                    limit: MAX_WORKERS,
+                },
+            ),
+            (
+                ServerConfig {
+                    queue_depth: 0,
+                    ..base.clone()
+                },
+                ConfigError::ZeroQueueDepth,
+            ),
+            (
+                ServerConfig {
+                    batch_bytes: 0,
+                    ..base.clone()
+                },
+                ConfigError::ZeroBatchBytes,
+            ),
+            (
+                ServerConfig {
+                    max_body_bytes: 10,
+                    ..base.clone()
+                },
+                ConfigError::BodyCapTooSmall,
+            ),
+        ];
+        for (config, want) in cases {
+            assert_eq!(config.validate(), Err(want));
+        }
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let (c, offline) = ServerConfig::from_args([
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--queue-depth",
+            "5",
+            "--offline",
+        ])
+        .unwrap();
+        assert!(offline);
+        assert_eq!((c.port, c.workers, c.queue_depth), (0, 2, 5));
+
+        for bad in [
+            vec!["--port"],
+            vec!["--workers", "x"],
+            vec!["--frobnicate", "1"],
+            vec!["--workers", "0"],
+            vec!["--port", "99999"],
+        ] {
+            assert!(ServerConfig::from_args(bad.clone()).is_err(), "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,662 @@
+//! Endpoint logic: JSON request → registry/runner calls → JSON response.
+//!
+//! Routes (all bodies and responses are JSON):
+//!
+//! | Route | Request | Response |
+//! |---|---|---|
+//! | `POST /spanners` | `{"pattern", "engine"?}` | `{"id", "cached", "vars"}` |
+//! | `POST /splitters` | `{"pattern"}` or `{"builtin"}` | `{"id", "cached"}` |
+//! | `POST /fleets` | `{"members": [ids]}` | `{"id", "cached", "members"}` |
+//! | `POST /certify` | `{"spanner"\|"fleet", "splitter"}` | `{"holds", "cached", ...}` |
+//! | `POST /extract` | `{"spanner"\|"fleet", "splitter", "docs", "unchecked"?}` | `{"relations", "stats"}` |
+//! | `GET /stats` | — | full service statistics |
+//! | `GET /healthz` | — | `{"ok": true}` |
+//!
+//! `/extract` refuses (`409`) when the requested pair is not certified
+//! self-split-correct — per-segment evaluation would change the
+//! extraction semantics — unless the request opts out with
+//! `"unchecked": true`. Certification happens transparently on first
+//! use and is cached thereafter (see [`crate::registry::Registry`]).
+
+use crate::config::ServerConfig;
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::registry::{hex_id, parse_hex_id, Registry, SplitterSpec};
+
+use splitc_core::cache::CachedVerdict;
+use splitc_core::Verdict;
+use splitc_exec::{CorpusRunner, CorpusRunnerConfig, Engine, EvalPool, FleetRunner};
+use splitc_spanner::{SpanRelation, VarTable};
+
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared state of a running service: registries, the evaluation pool,
+/// metrics, and configuration.
+#[derive(Debug)]
+pub struct ServiceState {
+    /// Artifact registries + certification cache.
+    pub registry: Registry,
+    /// The long-lived evaluation worker pool shared by all requests.
+    pub pool: Arc<EvalPool>,
+    /// Request/latency/execution metrics.
+    pub metrics: Metrics,
+    /// The validated configuration the server was started with.
+    pub config: ServerConfig,
+}
+
+impl ServiceState {
+    /// Builds the state for a validated config (the pool is started
+    /// here, sized to `config.workers`).
+    pub fn new(config: ServerConfig) -> ServiceState {
+        ServiceState {
+            registry: Registry::new(),
+            pool: Arc::new(EvalPool::new(config.workers)),
+            metrics: Metrics::new(),
+            config,
+        }
+    }
+
+    /// The runner configuration every `/extract` uses: the shared
+    /// pool's width, the configured batch size, and default queueing.
+    fn runner_config(&self) -> CorpusRunnerConfig {
+        CorpusRunnerConfig {
+            workers: self.config.workers,
+            batch_bytes: self.config.batch_bytes,
+            ..CorpusRunnerConfig::default()
+        }
+    }
+}
+
+/// Dispatches one request, recording latency and status metrics.
+pub fn handle(state: &ServiceState, req: &Request) -> Response {
+    let start = Instant::now();
+    let response = route(state, req);
+    let histogram = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/spanners" | "/splitters" | "/fleets") => Some(&state.metrics.register_latency),
+        ("POST", "/certify") => Some(&state.metrics.certify_latency),
+        ("POST", "/extract") => Some(&state.metrics.extract_latency),
+        ("GET", "/stats") => Some(&state.metrics.stats_latency),
+        _ => None,
+    };
+    if let Some(h) = histogram {
+        h.record(start.elapsed());
+    }
+    state.metrics.count_status(response.status);
+    response
+}
+
+fn route(state: &ServiceState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/spanners") => with_body(req, |body| register_spanner(state, body)),
+        ("POST", "/splitters") => with_body(req, |body| register_splitter(state, body)),
+        ("POST", "/fleets") => with_body(req, |body| register_fleet(state, body)),
+        ("POST", "/certify") => with_body(req, |body| certify(state, body)),
+        ("POST", "/extract") => with_body(req, |body| extract(state, body)),
+        ("GET", "/stats") => stats(state),
+        ("GET", "/healthz") => Response::json(200, Json::obj(vec![("ok", Json::Bool(true))])),
+        ("POST" | "GET", _) => error(404, format!("no route {} {}", req.method, req.path)),
+        _ => error(405, format!("method {} not supported", req.method)),
+    }
+}
+
+/// Builds a JSON error response.
+pub fn error(status: u16, message: impl Into<String>) -> Response {
+    Response::json(
+        status,
+        Json::obj(vec![("error", Json::Str(message.into()))]),
+    )
+}
+
+fn with_body(req: &Request, f: impl FnOnce(&Json) -> Response) -> Response {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return error(400, "body is not valid UTF-8"),
+    };
+    match Json::parse(text) {
+        Ok(body) => f(&body),
+        Err(e) => error(400, format!("invalid JSON body: {e}")),
+    }
+}
+
+fn require_str<'a>(body: &'a Json, key: &str) -> Result<&'a str, Response> {
+    body.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| error(400, format!("missing string field {key:?}")))
+}
+
+fn require_id(body: &Json, key: &str) -> Result<u64, Response> {
+    let text = require_str(body, key)?;
+    parse_hex_id(text).ok_or_else(|| error(400, format!("{key:?} is not a 16-hex-digit id")))
+}
+
+fn register_spanner(state: &ServiceState, body: &Json) -> Response {
+    let pattern = match require_str(body, "pattern") {
+        Ok(p) => p,
+        Err(r) => return r,
+    };
+    let engine = match body.get("engine").and_then(Json::as_str) {
+        None => Engine::default(),
+        Some(name) => match name.parse::<Engine>() {
+            Ok(e) => e,
+            Err(e) => return error(400, e),
+        },
+    };
+    match state.registry.register_spanner(pattern, engine) {
+        Err(e) => error(400, e),
+        Ok((entry, cached)) => Response::json(
+            200,
+            Json::obj(vec![
+                ("id", Json::str(hex_id(entry.id))),
+                ("cached", Json::Bool(cached)),
+                ("engine", Json::str(entry.engine.name())),
+                (
+                    "vars",
+                    Json::Arr(
+                        entry
+                            .vsa
+                            .vars()
+                            .names()
+                            .iter()
+                            .map(|n| Json::str(n.clone()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    }
+}
+
+fn register_splitter(state: &ServiceState, body: &Json) -> Response {
+    let spec = match (
+        body.get("pattern").and_then(Json::as_str),
+        body.get("builtin").and_then(Json::as_str),
+    ) {
+        (Some(p), None) => SplitterSpec::Pattern(p.to_string()),
+        (None, Some(b)) => SplitterSpec::Builtin(b.to_string()),
+        _ => return error(400, "exactly one of \"pattern\" or \"builtin\" is required"),
+    };
+    match state.registry.register_splitter(&spec) {
+        Err(e) => error(400, e),
+        Ok((entry, cached)) => Response::json(
+            200,
+            Json::obj(vec![
+                ("id", Json::str(hex_id(entry.id))),
+                ("cached", Json::Bool(cached)),
+                ("disjoint", Json::Bool(entry.splitter.is_disjoint())),
+            ]),
+        ),
+    }
+}
+
+fn register_fleet(state: &ServiceState, body: &Json) -> Response {
+    let members = match body.get("members").and_then(Json::as_arr) {
+        Some(m) => m,
+        None => return error(400, "missing array field \"members\""),
+    };
+    let mut ids = Vec::with_capacity(members.len());
+    for m in members {
+        match m.as_str().and_then(parse_hex_id) {
+            Some(id) => ids.push(id),
+            None => return error(400, "fleet members must be 16-hex-digit spanner ids"),
+        }
+    }
+    match state.registry.register_fleet(&ids) {
+        Err(e) => error(400, e),
+        Ok((entry, cached)) => Response::json(
+            200,
+            Json::obj(vec![
+                ("id", Json::str(hex_id(entry.id))),
+                ("cached", Json::Bool(cached)),
+                ("members", Json::num(entry.member_ids.len() as u32)),
+                ("engine", Json::str(entry.engine.name())),
+            ]),
+        ),
+    }
+}
+
+/// Renders one cached verdict as JSON fields.
+fn verdict_json(v: &CachedVerdict) -> Json {
+    match v {
+        Ok(Verdict::Holds) => Json::obj(vec![("verdict", Json::str("holds"))]),
+        Ok(Verdict::Fails(ce)) => Json::obj(vec![
+            ("verdict", Json::str("fails")),
+            (
+                "counterexample",
+                Json::str(String::from_utf8_lossy(&ce.doc).into_owned()),
+            ),
+            ("reason", Json::str(ce.reason.clone())),
+        ]),
+        Err(e) => Json::obj(vec![
+            ("verdict", Json::str("error")),
+            ("detail", Json::str(e.to_string())),
+        ]),
+    }
+}
+
+fn certify(state: &ServiceState, body: &Json) -> Response {
+    let splitter_id = match require_id(body, "splitter") {
+        Ok(id) => id,
+        Err(r) => return r,
+    };
+    let splitter = match state.registry.splitter(splitter_id) {
+        Some(s) => s,
+        None => return error(404, format!("unknown splitter {}", hex_id(splitter_id))),
+    };
+    match (body.get("spanner"), body.get("fleet")) {
+        (Some(_), None) => {
+            let spanner_id = match require_id(body, "spanner") {
+                Ok(id) => id,
+                Err(r) => return r,
+            };
+            let spanner = match state.registry.spanner(spanner_id) {
+                Some(s) => s,
+                None => return error(404, format!("unknown spanner {}", hex_id(spanner_id))),
+            };
+            let (verdict, cached) = state.registry.certify_spanner(&spanner, &splitter);
+            let mut fields = vec![
+                (
+                    "holds".to_string(),
+                    Json::Bool(matches!(&verdict, Ok(v) if v.holds())),
+                ),
+                ("cached".to_string(), Json::Bool(cached)),
+            ];
+            if let Json::Obj(pairs) = verdict_json(&verdict) {
+                fields.extend(pairs);
+            }
+            Response::json(200, Json::Obj(fields))
+        }
+        (None, Some(_)) => {
+            let fleet_id = match require_id(body, "fleet") {
+                Ok(id) => id,
+                Err(r) => return r,
+            };
+            let fleet = match state.registry.fleet(fleet_id) {
+                Some(f) => f,
+                None => return error(404, format!("unknown fleet {}", hex_id(fleet_id))),
+            };
+            let (verdicts, cached) = state.registry.certify_fleet(&fleet, &splitter);
+            let holds = verdicts.iter().all(|v| matches!(v, Ok(x) if x.holds()));
+            let members: Vec<Json> = fleet
+                .member_ids
+                .iter()
+                .zip(&verdicts)
+                .map(|(id, v)| {
+                    let mut obj = vec![("spanner".to_string(), Json::str(hex_id(*id)))];
+                    if let Json::Obj(pairs) = verdict_json(v) {
+                        obj.extend(pairs);
+                    }
+                    Json::Obj(obj)
+                })
+                .collect();
+            Response::json(
+                200,
+                Json::obj(vec![
+                    ("holds", Json::Bool(holds)),
+                    ("cached", Json::Bool(cached)),
+                    ("members", Json::Arr(members)),
+                ]),
+            )
+        }
+        _ => error(400, "exactly one of \"spanner\" or \"fleet\" is required"),
+    }
+}
+
+/// Renders a relation as an array of `{var: [start, end]}` tuples.
+/// Deterministic: tuples are in the relation's canonical sorted order,
+/// variables in [`VarTable`] order.
+fn relation_json(relation: &SpanRelation, vars: &VarTable) -> Json {
+    Json::Arr(
+        relation
+            .iter()
+            .map(|tuple| {
+                Json::Obj(
+                    vars.names()
+                        .iter()
+                        .zip(tuple.spans())
+                        .map(|(name, span)| {
+                            (
+                                name.clone(),
+                                Json::Arr(vec![
+                                    Json::num(span.start as u32),
+                                    Json::num(span.end as u32),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn extract(state: &ServiceState, body: &Json) -> Response {
+    let splitter_id = match require_id(body, "splitter") {
+        Ok(id) => id,
+        Err(r) => return r,
+    };
+    let splitter = match state.registry.splitter(splitter_id) {
+        Some(s) => s,
+        None => return error(404, format!("unknown splitter {}", hex_id(splitter_id))),
+    };
+    let docs: Vec<&str> = match body.get("docs").and_then(Json::as_arr) {
+        Some(items) => {
+            let mut docs = Vec::with_capacity(items.len());
+            for item in items {
+                match item.as_str() {
+                    Some(s) => docs.push(s),
+                    None => return error(400, "\"docs\" must be an array of strings"),
+                }
+            }
+            docs
+        }
+        None => return error(400, "missing array field \"docs\""),
+    };
+    let doc_bytes: Vec<&[u8]> = docs.iter().map(|d| d.as_bytes()).collect();
+    let unchecked = body
+        .get("unchecked")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+
+    match (body.get("spanner"), body.get("fleet")) {
+        (Some(_), None) => {
+            let spanner_id = match require_id(body, "spanner") {
+                Ok(id) => id,
+                Err(r) => return r,
+            };
+            let spanner = match state.registry.spanner(spanner_id) {
+                Some(s) => s,
+                None => return error(404, format!("unknown spanner {}", hex_id(spanner_id))),
+            };
+            if !unchecked {
+                let (verdict, _) = state.registry.certify_spanner(&spanner, &splitter);
+                if !matches!(&verdict, Ok(v) if v.holds()) {
+                    return not_split_correct(&verdict);
+                }
+            }
+            let runner = CorpusRunner::with_pool(
+                spanner.exec.clone(),
+                splitter.compiled.clone(),
+                state.runner_config(),
+                state.pool.clone(),
+            );
+            let result = runner.run_slices(&doc_bytes);
+            state.metrics.record_corpus(&result.stats);
+            let vars = spanner.vsa.vars();
+            Response::json(
+                200,
+                Json::obj(vec![
+                    (
+                        "relations",
+                        Json::Arr(
+                            result
+                                .relations
+                                .iter()
+                                .map(|r| relation_json(r, vars))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "stats",
+                        Json::obj(vec![
+                            ("docs", Json::num(result.stats.docs as u32)),
+                            ("segments", Json::num(result.stats.segments as u32)),
+                            (
+                                "segment_bytes",
+                                Json::Num(result.stats.segment_bytes as f64),
+                            ),
+                            ("batches", Json::num(result.stats.batches as u32)),
+                        ]),
+                    ),
+                ]),
+            )
+        }
+        (None, Some(_)) => {
+            let fleet_id = match require_id(body, "fleet") {
+                Ok(id) => id,
+                Err(r) => return r,
+            };
+            let fleet = match state.registry.fleet(fleet_id) {
+                Some(f) => f,
+                None => return error(404, format!("unknown fleet {}", hex_id(fleet_id))),
+            };
+            if !unchecked {
+                let (verdicts, _) = state.registry.certify_fleet(&fleet, &splitter);
+                if let Some(bad) = verdicts.iter().find(|v| !matches!(v, Ok(x) if x.holds())) {
+                    return not_split_correct(bad);
+                }
+            }
+            let runner = FleetRunner::with_pool(
+                fleet.fleet.clone(),
+                splitter.compiled.clone(),
+                state.runner_config(),
+                state.pool.clone(),
+            );
+            let result = runner.run_slices(&doc_bytes);
+            state.metrics.record_fleet(&result.stats);
+            Response::json(
+                200,
+                Json::obj(vec![
+                    (
+                        "relations",
+                        Json::Arr(
+                            result
+                                .relations
+                                .iter()
+                                .map(|per_doc| {
+                                    Json::Arr(
+                                        per_doc
+                                            .iter()
+                                            .enumerate()
+                                            .map(|(m, r)| relation_json(r, fleet.vsas[m].vars()))
+                                            .collect(),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "stats",
+                        Json::obj(vec![
+                            ("docs", Json::num(result.stats.docs as u32)),
+                            ("segments", Json::num(result.stats.segments as u32)),
+                            (
+                                "segment_bytes",
+                                Json::Num(result.stats.segment_bytes as f64),
+                            ),
+                            ("batches", Json::num(result.stats.batches as u32)),
+                            ("dispatches", Json::Num(result.stats.dispatches as f64)),
+                            (
+                                "gate_rejected",
+                                Json::Num(result.stats.gate_rejected as f64),
+                            ),
+                            (
+                                "scan_rejected",
+                                Json::Num(result.stats.scan_rejected as f64),
+                            ),
+                        ]),
+                    ),
+                ]),
+            )
+        }
+        _ => error(400, "exactly one of \"spanner\" or \"fleet\" is required"),
+    }
+}
+
+/// Runs one extraction completely offline — no server, no shared pool,
+/// per-run spawned worker threads — and renders the relations with the
+/// *same* JSON encoding as `/extract`. This is the differential
+/// reference for the end-to-end harness (`scripts/server_smoke.sh`
+/// compares server output byte-for-byte against this).
+///
+/// Request shape: `{"pattern": ...}` (spanner) or `{"patterns": [...]}`
+/// (fleet), plus `"engine"?`, `"splitter"` or `"splitter_builtin"`, and
+/// `"docs"`.
+pub fn offline_extract(body: &Json) -> Result<Json, String> {
+    let spec = match (
+        body.get("splitter").and_then(Json::as_str),
+        body.get("splitter_builtin").and_then(Json::as_str),
+    ) {
+        (Some(p), None) => SplitterSpec::Pattern(p.to_string()),
+        (None, Some(b)) => SplitterSpec::Builtin(b.to_string()),
+        _ => return Err("exactly one of \"splitter\" or \"splitter_builtin\" is required".into()),
+    };
+    let registry = Registry::new();
+    let (splitter, _) = registry.register_splitter(&spec)?;
+    let engine = match body.get("engine").and_then(Json::as_str) {
+        None => Engine::default(),
+        Some(name) => name.parse::<Engine>()?,
+    };
+    let docs: Vec<Vec<u8>> = body
+        .get("docs")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"docs\"")?
+        .iter()
+        .map(|d| {
+            d.as_str()
+                .map(|s| s.as_bytes().to_vec())
+                .ok_or_else(|| "\"docs\" must be an array of strings".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    let doc_slices: Vec<&[u8]> = docs.iter().map(|d| d.as_slice()).collect();
+
+    match (body.get("pattern"), body.get("patterns")) {
+        (Some(_), None) => {
+            let pattern = body
+                .get("pattern")
+                .and_then(Json::as_str)
+                .ok_or("\"pattern\" must be a string")?;
+            let (spanner, _) = registry.register_spanner(pattern, engine)?;
+            let runner = CorpusRunner::new(
+                spanner.exec.clone(),
+                splitter.compiled.clone(),
+                CorpusRunnerConfig::default(),
+            );
+            let result = runner.run_slices(&doc_slices);
+            Ok(Json::obj(vec![(
+                "relations",
+                Json::Arr(
+                    result
+                        .relations
+                        .iter()
+                        .map(|r| relation_json(r, spanner.vsa.vars()))
+                        .collect(),
+                ),
+            )]))
+        }
+        (None, Some(_)) => {
+            let patterns = body
+                .get("patterns")
+                .and_then(Json::as_arr)
+                .ok_or("\"patterns\" must be an array")?;
+            let mut ids = Vec::with_capacity(patterns.len());
+            for p in patterns {
+                let p = p
+                    .as_str()
+                    .ok_or("\"patterns\" must be an array of strings")?;
+                let (entry, _) = registry.register_spanner(p, engine)?;
+                ids.push(entry.id);
+            }
+            let (fleet, _) = registry.register_fleet(&ids)?;
+            let runner = FleetRunner::new(
+                fleet.fleet.clone(),
+                splitter.compiled.clone(),
+                CorpusRunnerConfig::default(),
+            );
+            let result = runner.run_slices(&doc_slices);
+            Ok(Json::obj(vec![(
+                "relations",
+                Json::Arr(
+                    result
+                        .relations
+                        .iter()
+                        .map(|per_doc| {
+                            Json::Arr(
+                                per_doc
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(m, r)| relation_json(r, fleet.vsas[m].vars()))
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            )]))
+        }
+        _ => Err("exactly one of \"pattern\" or \"patterns\" is required".into()),
+    }
+}
+
+fn not_split_correct(verdict: &CachedVerdict) -> Response {
+    let detail = match verdict {
+        Ok(Verdict::Fails(ce)) => format!("not self-split-correct: {}", ce.reason),
+        Ok(Verdict::Holds) => unreachable!("only called on failures"),
+        Err(e) => format!("certification failed: {e}"),
+    };
+    Response::json(
+        409,
+        Json::obj(vec![
+            ("error", Json::str(detail)),
+            (
+                "hint",
+                Json::str("pass \"unchecked\": true to extract anyway (changes semantics)"),
+            ),
+        ]),
+    )
+}
+
+fn stats(state: &ServiceState) -> Response {
+    let (spanners, splitters, fleets) = state.registry.counts();
+    let compile = state.registry.compile_stats();
+    let cert = state.registry.cert_stats();
+    let pool = state.pool.stats();
+    let antichain = splitc_automata::cumulative_stats();
+    let mut doc = vec![
+        (
+            "registry".to_string(),
+            Json::obj(vec![
+                ("spanners", Json::num(spanners as u32)),
+                ("splitters", Json::num(splitters as u32)),
+                ("fleets", Json::num(fleets as u32)),
+                (
+                    "compile_cache",
+                    Json::obj(vec![
+                        ("hits", Json::Num(compile.hits as f64)),
+                        ("misses", Json::Num(compile.misses as f64)),
+                    ]),
+                ),
+                (
+                    "cert_cache",
+                    Json::obj(vec![
+                        ("hits", Json::Num(cert.hits as f64)),
+                        ("misses", Json::Num(cert.misses as f64)),
+                        ("entries", Json::num(cert.entries as u32)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "pool".to_string(),
+            Json::obj(vec![
+                ("workers", Json::num(state.pool.workers() as u32)),
+                ("submitted", Json::Num(pool.submitted as f64)),
+                ("completed", Json::Num(pool.completed as f64)),
+                ("panicked", Json::Num(pool.panicked as f64)),
+            ]),
+        ),
+        (
+            "antichain".to_string(),
+            Json::obj(vec![
+                ("runs", Json::Num(antichain.runs as f64)),
+                ("explored", Json::Num(antichain.explored as f64)),
+                ("pruned", Json::Num(antichain.pruned as f64)),
+                ("subsets", Json::Num(antichain.subsets as f64)),
+            ]),
+        ),
+    ];
+    if let Json::Obj(pairs) = state.metrics.to_json() {
+        doc.extend(pairs);
+    }
+    Response::json(200, Json::Obj(doc))
+}

@@ -1,0 +1,325 @@
+//! A minimal HTTP/1.1 layer over blocking streams.
+//!
+//! Implements exactly what the service protocol needs — request-line +
+//! header parsing, `Content-Length` bodies, keep-alive connections, and
+//! a response writer — over any `Read`/`Write` pair, so the unit tests
+//! drive it with in-memory buffers and the server drives it with
+//! `TcpStream`s. No chunked encoding, no TLS, no HTTP/2: clients that
+//! need those belong behind a real reverse proxy.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path (the origin-form target, query string included).
+    pub path: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for the connection to close after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Protocol-level failures while reading a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The underlying transport failed.
+    Io(std::io::Error),
+    /// The peer sent something that is not HTTP.
+    Malformed(String),
+    /// The declared body exceeds the configured cap (maps to `413`).
+    BodyTooLarge {
+        /// Bytes the client declared.
+        declared: usize,
+        /// The server's cap.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// Header count / line length caps — far above anything the protocol
+/// produces, low enough to bound a hostile peer.
+const MAX_HEADERS: usize = 64;
+const MAX_LINE: usize = 8 << 10;
+
+/// Reads one request from `stream`. Returns `Ok(None)` on clean EOF
+/// before any byte of a request (the peer ended a keep-alive session).
+pub fn read_request(
+    stream: &mut impl BufRead,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    let line = match read_line(stream)? {
+        None => return Ok(None),
+        Some(l) => l,
+    };
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported {version}")));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line =
+            read_line(stream)?.ok_or_else(|| HttpError::Malformed("eof inside headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed("header without ':'".into()))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(len) = req.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+        if len > max_body {
+            return Err(HttpError::BodyTooLarge {
+                declared: len,
+                limit: max_body,
+            });
+        }
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body)?;
+        req.body = body;
+    }
+    Ok(Some(req))
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line. `Ok(None)` on
+/// immediate EOF.
+fn read_line(stream: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte)? {
+            0 => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Malformed("eof inside line".into()));
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let line = String::from_utf8(buf)
+                        .map_err(|_| HttpError::Malformed("non-utf8 header line".into()))?;
+                    return Ok(Some(line));
+                }
+                if buf.len() >= MAX_LINE {
+                    return Err(HttpError::Malformed("line too long".into()));
+                }
+                buf.push(byte[0]);
+            }
+        }
+    }
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (always `application/json` in this service).
+    pub body: Vec<u8>,
+    /// Whether the connection closes after this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl fmt::Display) -> Response {
+        Response {
+            status,
+            body: body.to_string().into_bytes(),
+            close: false,
+        }
+    }
+
+    /// Marks the connection for closing after this response.
+    pub fn closing(mut self) -> Response {
+        self.close = true;
+        self
+    }
+
+    /// The standard reason phrase for the status codes this service
+    /// emits.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes status line, headers, and body onto `out` as a single
+    /// write — one response, one TCP segment where it fits. Writing the
+    /// head and body separately stalls ~40ms per response on loopback
+    /// (Nagle's algorithm holds the second segment until the delayed
+    /// ACK of the first).
+    pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
+        let mut wire = Vec::with_capacity(128 + self.body.len());
+        write!(
+            wire,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.body.len(),
+            if self.close { "close" } else { "keep-alive" },
+        )?;
+        wire.extend_from_slice(&self.body);
+        out.write_all(&wire)?;
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_a_post_with_body_and_keepalive_followup() {
+        let wire = b"POST /extract HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcdGET /stats HTTP/1.1\r\n\r\n";
+        let mut r = BufReader::new(&wire[..]);
+        let req = read_request(&mut r, 1 << 20).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/extract");
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(!req.wants_close());
+        let req2 = read_request(&mut r, 1 << 20).unwrap().unwrap();
+        assert_eq!(
+            (req2.method.as_str(), req2.path.as_str()),
+            ("GET", "/stats")
+        );
+        assert!(req2.body.is_empty());
+        assert!(
+            read_request(&mut r, 1 << 20).unwrap().is_none(),
+            "clean eof"
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed() {
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n";
+        let mut r = BufReader::new(&wire[..]);
+        assert!(matches!(
+            read_request(&mut r, 10),
+            Err(HttpError::BodyTooLarge {
+                declared: 999,
+                limit: 10
+            })
+        ));
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            &b"GET / SPDY/3\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nno-colon\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nContent-Length: x\r\n\r\n"[..],
+        ] {
+            let mut r = BufReader::new(bad);
+            assert!(
+                matches!(read_request(&mut r, 10), Err(HttpError::Malformed(_))),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn response_serialization() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        Response::json(429, "{}")
+            .closing()
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn connection_close_header() {
+        let wire = b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n";
+        let mut r = BufReader::new(&wire[..]);
+        assert!(read_request(&mut r, 10).unwrap().unwrap().wants_close());
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! Extraction-as-a-service: an HTTP server over the split execution
+//! engine, with compile and certification caches.
+//!
+//! The paper frames split-correctness as the *contract* that lets an
+//! extraction service parallelize: certify `P = P ∘ S` once, then
+//! evaluate `P` per segment forever after. This crate is that service,
+//! end to end:
+//!
+//! * [`registry`] — content-hash-keyed registries of compiled spanners,
+//!   splitters, and fleets (re-registering identical artifacts is a
+//!   cache hit), plus the certification cache
+//!   ([`splitc_core::cache::CertCache`]) seeded through batched
+//!   [`splitc_exec::certify_many`] runs.
+//! * [`server`] — a hand-rolled HTTP/1.1 accept loop over
+//!   `std::net::TcpListener` (the build container has no crates.io
+//!   access, so there is no web framework underneath) with a bounded
+//!   admission queue: saturation is answered with `429` immediately,
+//!   never with unbounded buffering.
+//! * [`handlers`] — the endpoints: register, certify, `/extract`
+//!   (streams through [`splitc_exec::CorpusRunner`] /
+//!   [`splitc_exec::FleetRunner`] on a shared long-lived
+//!   [`splitc_exec::EvalPool`]), and `/stats` (latency histograms,
+//!   cache hit rates, execution and antichain-search totals).
+//! * [`json`] / [`http`] — the wire formats, also hand-rolled.
+//! * [`client`] — a small blocking client used by the integration
+//!   tests and the `e8_server` benchmark.
+//! * [`config`] — validated configuration with typed errors.
+//!
+//! Extraction refuses (`409`) pairs that are not certified
+//! self-split-correct — the service never silently changes extraction
+//! semantics; `"unchecked": true` opts out per request.
+//!
+//! See the repository's `ARCHITECTURE.md` ("Serving layer") for the
+//! request lifecycle diagram, and `README.md` for a curl quick-start.
+
+pub mod client;
+pub mod config;
+pub mod handlers;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use config::{ConfigError, ServerConfig};
+pub use handlers::{offline_extract, ServiceState};
+pub use json::{Json, JsonError};
+pub use metrics::{LatencyHistogram, Metrics};
+pub use registry::{hex_id, parse_hex_id, Registry, SplitterSpec};
+pub use server::{Server, SpawnError};

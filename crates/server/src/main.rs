@@ -1,0 +1,110 @@
+//! The `splitc-server` binary: extraction-as-a-service over loopback.
+//!
+//! ```text
+//! splitc-server [--port N] [--workers N] [--queue-depth N]
+//!               [--batch-bytes N] [--max-body-bytes N]
+//! splitc-server --offline < request.json
+//! ```
+//!
+//! The server prints `listening on 127.0.0.1:PORT` once bound (port 0
+//! requests an ephemeral port — harnesses scrape the line) and serves
+//! until SIGTERM or SIGINT, which trigger a graceful shutdown:
+//! in-flight requests complete, new connections are refused, and the
+//! process exits 0.
+//!
+//! `--offline` runs one extraction request (read from stdin, see
+//! [`splitc_server::handlers::offline_extract`]) without starting a
+//! server, printing the relations JSON to stdout — the differential
+//! reference the end-to-end harness compares server responses against.
+
+use splitc_server::config::ServerConfig;
+use splitc_server::handlers::offline_extract;
+use splitc_server::json::Json;
+use splitc_server::server::Server;
+
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Raised by the signal handler; polled by the main thread.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Installs a minimal handler for `sig` via the C `signal` interface
+/// (libc is already linked into every Rust binary; no crate needed).
+/// The handler only sets an atomic flag — async-signal-safe.
+fn install_signal_handler(sig: i32) {
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(sig: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(sig, on_signal);
+    }
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (config, offline) = match ServerConfig::from_args(args.iter().map(|s| s.as_str())) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("splitc-server: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if offline {
+        let mut input = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+            eprintln!("splitc-server: cannot read stdin: {e}");
+            std::process::exit(2);
+        }
+        let request = match Json::parse(&input) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("splitc-server: invalid request JSON: {e}");
+                std::process::exit(2);
+            }
+        };
+        match offline_extract(&request) {
+            Ok(response) => println!("{response}"),
+            Err(e) => {
+                eprintln!("splitc-server: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    install_signal_handler(SIGTERM);
+    install_signal_handler(SIGINT);
+
+    // The server polls this flag from its accept loop; wiring the
+    // signal-raised static through lets `kill -TERM` drive the same
+    // graceful path as `Server::shutdown`.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut server = match Server::spawn_with_stop(config, stop.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("splitc-server: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("listening on {}", server.addr());
+    // Line-buffered stdout only flushes on newline when attached to a
+    // terminal; harnesses read this through a pipe, so flush explicitly.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    stop.store(true, Ordering::SeqCst);
+    server.shutdown();
+    println!("shutdown complete");
+}

@@ -1,0 +1,428 @@
+//! Content-hash-keyed registries of compiled artifacts plus the
+//! certification cache.
+//!
+//! Registration is idempotent and deduplicating: the id of a spanner is
+//! the FNV-1a hash of `engine ++ pattern` (a splitter's of its source
+//! spec, a fleet's of its member ids), so re-registering byte-identical
+//! artifacts — from any connection, in any order — returns the already
+//! compiled entry and counts a compile-cache hit. Certification
+//! verdicts are memoized in a [`CertCache`] keyed by
+//! `(spanner id, splitter id)`; a fleet certifies its *uncached*
+//! members in one [`certify_many`] batch (sharing that engine's
+//! composition memo and fast-path routing) and seeds the cache with the
+//! outcomes.
+
+use splitc_core::cache::{content_hash, CachedVerdict, CertCache, CertCacheStats};
+use splitc_core::split_correct;
+use splitc_exec::{certify_many, CertifyConfig, Engine, ExecSpanner, Fleet};
+use splitc_spanner::splitter as splitters;
+use splitc_spanner::splitter::CompiledSplitter;
+use splitc_spanner::{Splitter, Vsa};
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Renders a registry id in the wire format (16 hex digits). Ids are
+/// strings on the wire because JSON numbers cannot carry 64 bits
+/// exactly.
+pub fn hex_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses a wire-format id.
+pub fn parse_hex_id(text: &str) -> Option<u64> {
+    if text.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
+}
+
+/// A registered, compiled spanner.
+#[derive(Debug)]
+pub struct SpannerEntry {
+    /// Content hash of `(engine, pattern)` — the wire id.
+    pub id: u64,
+    /// The source regex formula.
+    pub pattern: String,
+    /// The engine it was compiled for.
+    pub engine: Engine,
+    /// The parsed VSA (kept for certification).
+    pub vsa: Vsa,
+    /// The compiled evaluator.
+    pub exec: ExecSpanner,
+}
+
+/// A registered, compiled splitter.
+#[derive(Debug)]
+pub struct SplitterEntry {
+    /// Content hash of the source spec — the wire id.
+    pub id: u64,
+    /// The source spec (`pattern:...` or `builtin:...`).
+    pub spec: String,
+    /// The parsed splitter (kept for certification).
+    pub splitter: Splitter,
+    /// The compiled streaming splitter.
+    pub compiled: CompiledSplitter,
+}
+
+/// A registered fleet of spanners compiled for fused evaluation.
+#[derive(Debug)]
+pub struct FleetEntry {
+    /// Content hash of the ordered member ids — the wire id.
+    pub id: u64,
+    /// Member spanner ids, in fleet order.
+    pub member_ids: Vec<u64>,
+    /// Member VSAs, in fleet order (kept for certification).
+    pub vsas: Vec<Vsa>,
+    /// The engine every member was compiled for.
+    pub engine: Engine,
+    /// The fused evaluator.
+    pub fleet: Arc<Fleet>,
+}
+
+/// How a splitter is specified on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SplitterSpec {
+    /// A unary spanner given as a regex formula.
+    Pattern(String),
+    /// One of the built-in splitters by name.
+    Builtin(String),
+}
+
+impl SplitterSpec {
+    /// The canonical string hashed into the splitter's id.
+    fn canonical(&self) -> String {
+        match self {
+            SplitterSpec::Pattern(p) => format!("pattern:{p}"),
+            SplitterSpec::Builtin(b) => format!("builtin:{b}"),
+        }
+    }
+
+    fn build(&self) -> Result<Splitter, String> {
+        match self {
+            SplitterSpec::Pattern(p) => Splitter::parse(p),
+            SplitterSpec::Builtin(name) => match name.as_str() {
+                "sentences" => Ok(splitters::sentences()),
+                "lines" => Ok(splitters::lines()),
+                "paragraphs" => Ok(splitters::paragraphs()),
+                "http_messages" => Ok(splitters::http_messages()),
+                "whole_document" => Ok(splitters::whole_document()),
+                other => Err(format!(
+                    "unknown builtin splitter {other:?} (expected sentences|lines|paragraphs|http_messages|whole_document)"
+                )),
+            },
+        }
+    }
+}
+
+/// Hit/miss counters of the compile cache, one pair per artifact kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileCacheStats {
+    /// Registrations answered by an existing entry.
+    pub hits: u64,
+    /// Registrations that compiled a new entry.
+    pub misses: u64,
+}
+
+/// The server's shared state: three artifact registries and the
+/// certification cache.
+#[derive(Debug, Default)]
+pub struct Registry {
+    spanners: Mutex<HashMap<u64, Arc<SpannerEntry>>>,
+    splitters: Mutex<HashMap<u64, Arc<SplitterEntry>>>,
+    fleets: Mutex<HashMap<u64, Arc<FleetEntry>>>,
+    cert: CertCache,
+    compile_hits: AtomicU64,
+    compile_misses: AtomicU64,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or finds) a spanner compiled from `pattern` for
+    /// `engine`. The boolean is `true` when the entry already existed.
+    pub fn register_spanner(
+        &self,
+        pattern: &str,
+        engine: Engine,
+    ) -> Result<(Arc<SpannerEntry>, bool), String> {
+        let id = content_hash(format!("spanner:{}:{pattern}", engine.name()).as_bytes());
+        if let Some(entry) = self.spanners.lock().get(&id) {
+            self.compile_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((entry.clone(), true));
+        }
+        // Compile outside the lock; first insert wins on a race.
+        let rgx = splitc_spanner::Rgx::parse(pattern).map_err(|e| e.to_string())?;
+        let vsa = rgx.to_vsa().map_err(|e| e.to_string())?;
+        let exec = ExecSpanner::compile_with(&vsa, engine);
+        let entry = Arc::new(SpannerEntry {
+            id,
+            pattern: pattern.to_string(),
+            engine,
+            vsa,
+            exec,
+        });
+        let stored = self.spanners.lock().entry(id).or_insert(entry).clone();
+        self.compile_misses.fetch_add(1, Ordering::Relaxed);
+        Ok((stored, false))
+    }
+
+    /// Registers (or finds) a splitter. The boolean is `true` when the
+    /// entry already existed.
+    pub fn register_splitter(
+        &self,
+        spec: &SplitterSpec,
+    ) -> Result<(Arc<SplitterEntry>, bool), String> {
+        let canonical = spec.canonical();
+        let id = content_hash(canonical.as_bytes());
+        if let Some(entry) = self.splitters.lock().get(&id) {
+            self.compile_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((entry.clone(), true));
+        }
+        let splitter = spec.build()?;
+        let compiled = splitter.compile();
+        let entry = Arc::new(SplitterEntry {
+            id,
+            spec: canonical,
+            splitter,
+            compiled,
+        });
+        let stored = self.splitters.lock().entry(id).or_insert(entry).clone();
+        self.compile_misses.fetch_add(1, Ordering::Relaxed);
+        Ok((stored, false))
+    }
+
+    /// Registers (or finds) a fleet over already-registered member
+    /// spanners. All members must share one engine (the fused pass
+    /// compiles one shared byte partition). The boolean is `true` when
+    /// the entry already existed.
+    pub fn register_fleet(&self, member_ids: &[u64]) -> Result<(Arc<FleetEntry>, bool), String> {
+        if member_ids.is_empty() {
+            return Err("a fleet needs at least one member".into());
+        }
+        let mut key = String::from("fleet");
+        for m in member_ids {
+            key.push(':');
+            key.push_str(&hex_id(*m));
+        }
+        let id = content_hash(key.as_bytes());
+        if let Some(entry) = self.fleets.lock().get(&id) {
+            self.compile_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((entry.clone(), true));
+        }
+        let mut vsas = Vec::with_capacity(member_ids.len());
+        let mut engine = None;
+        for m in member_ids {
+            let member = self
+                .spanner(*m)
+                .ok_or_else(|| format!("unknown spanner {}", hex_id(*m)))?;
+            match engine {
+                None => engine = Some(member.engine),
+                Some(e) if e == member.engine => {}
+                Some(e) => {
+                    return Err(format!(
+                        "fleet members must share one engine ({} vs {})",
+                        e.name(),
+                        member.engine.name()
+                    ))
+                }
+            }
+            vsas.push(member.vsa.clone());
+        }
+        let engine = engine.expect("non-empty fleet");
+        let fleet = Arc::new(Fleet::compile(&vsas, engine));
+        let entry = Arc::new(FleetEntry {
+            id,
+            member_ids: member_ids.to_vec(),
+            vsas,
+            engine,
+            fleet,
+        });
+        let stored = self.fleets.lock().entry(id).or_insert(entry).clone();
+        self.compile_misses.fetch_add(1, Ordering::Relaxed);
+        Ok((stored, false))
+    }
+
+    /// Looks a spanner up by id.
+    pub fn spanner(&self, id: u64) -> Option<Arc<SpannerEntry>> {
+        self.spanners.lock().get(&id).cloned()
+    }
+
+    /// Looks a splitter up by id.
+    pub fn splitter(&self, id: u64) -> Option<Arc<SplitterEntry>> {
+        self.splitters.lock().get(&id).cloned()
+    }
+
+    /// Looks a fleet up by id.
+    pub fn fleet(&self, id: u64) -> Option<Arc<FleetEntry>> {
+        self.fleets.lock().get(&id).cloned()
+    }
+
+    /// Certifies `P = P ∘ S` (self-split-correctness — the property
+    /// that licenses per-segment parallel evaluation) for a registered
+    /// pair, through the cache. The boolean is `true` on a cache hit.
+    pub fn certify_spanner(
+        &self,
+        spanner: &SpannerEntry,
+        splitter: &SplitterEntry,
+    ) -> (CachedVerdict, bool) {
+        self.cert.get_or_certify((spanner.id, splitter.id), || {
+            split_correct(&spanner.vsa, &spanner.vsa, &splitter.splitter)
+        })
+    }
+
+    /// Certifies every member of a fleet against `splitter`, batching
+    /// all *uncached* members through one [`certify_many`] call (shared
+    /// composition memo, Thm 5.7 fast-path routing) and seeding the
+    /// cache with the outcomes. Returns per-member verdicts in fleet
+    /// order plus whether every member was already cached.
+    pub fn certify_fleet(
+        &self,
+        fleet: &FleetEntry,
+        splitter: &SplitterEntry,
+    ) -> (Vec<CachedVerdict>, bool) {
+        let mut verdicts: Vec<Option<CachedVerdict>> = Vec::new();
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, member_id) in fleet.member_ids.iter().enumerate() {
+            match self.cert.get((*member_id, splitter.id)) {
+                Some(v) => verdicts.push(Some(v)),
+                None => {
+                    verdicts.push(None);
+                    missing.push(i);
+                }
+            }
+        }
+        let all_cached = missing.is_empty();
+        if !all_cached {
+            let vsas: Vec<Vsa> = missing.iter().map(|&i| fleet.vsas[i].clone()).collect();
+            let pairs: Vec<(usize, usize)> = (0..vsas.len()).map(|j| (j, j)).collect();
+            let result = certify_many(&vsas, &splitter.splitter, &pairs, &CertifyConfig::default());
+            for (j, outcome) in result.outcomes.into_iter().enumerate() {
+                let i = missing[j];
+                let key = (fleet.member_ids[i], splitter.id);
+                verdicts[i] = Some(self.cert.insert(key, outcome.verdict));
+            }
+        }
+        (
+            verdicts
+                .into_iter()
+                .map(|v| v.expect("every member resolved"))
+                .collect(),
+            all_cached,
+        )
+    }
+
+    /// Certification-cache counters.
+    pub fn cert_stats(&self) -> CertCacheStats {
+        self.cert.stats()
+    }
+
+    /// Compile-cache counters.
+    pub fn compile_stats(&self) -> CompileCacheStats {
+        CompileCacheStats {
+            hits: self.compile_hits.load(Ordering::Relaxed),
+            misses: self.compile_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// `(spanners, splitters, fleets)` currently registered.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (
+            self.spanners.lock().len(),
+            self.splitters.lock().len(),
+            self.fleets.lock().len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_and_are_content_addressed() {
+        let r = Registry::new();
+        let (a, cached_a) = r.register_spanner(".*x{a+}.*", Engine::Dense).unwrap();
+        let (b, cached_b) = r.register_spanner(".*x{a+}.*", Engine::Dense).unwrap();
+        assert!(!cached_a && cached_b);
+        assert_eq!(a.id, b.id);
+        assert_eq!(parse_hex_id(&hex_id(a.id)), Some(a.id));
+        assert_eq!(parse_hex_id("zz"), None);
+        // Same pattern, different engine: a different artifact.
+        let (c, _) = r.register_spanner(".*x{a+}.*", Engine::Nfa).unwrap();
+        assert_ne!(a.id, c.id);
+        let stats = r.compile_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert!(r.register_spanner("x{", Engine::Dense).is_err());
+    }
+
+    #[test]
+    fn splitter_specs() {
+        let r = Registry::new();
+        let (s1, _) = r
+            .register_splitter(&SplitterSpec::Builtin("sentences".into()))
+            .unwrap();
+        let (s2, cached) = r
+            .register_splitter(&SplitterSpec::Builtin("sentences".into()))
+            .unwrap();
+        assert!(cached);
+        assert_eq!(s1.id, s2.id);
+        assert!(r
+            .register_splitter(&SplitterSpec::Builtin("bogus".into()))
+            .is_err());
+        let (p, _) = r
+            .register_splitter(&SplitterSpec::Pattern(r"(.*,)?x{[^,]+}(,.*)?".into()))
+            .unwrap();
+        assert_ne!(p.id, s1.id);
+        assert!(r
+            .register_splitter(&SplitterSpec::Pattern("x{".into()))
+            .is_err());
+    }
+
+    #[test]
+    fn certification_caches_across_spanner_and_fleet_paths() {
+        let r = Registry::new();
+        let (sp, _) = r.register_spanner(".*x{a+}.*", Engine::Dense).unwrap();
+        let (sl, _) = r
+            .register_splitter(&SplitterSpec::Builtin("sentences".into()))
+            .unwrap();
+        let (v, cached) = r.certify_spanner(&sp, &sl);
+        assert!(!cached);
+        assert!(v.unwrap().holds());
+        let (_, cached) = r.certify_spanner(&sp, &sl);
+        assert!(cached);
+
+        // A fleet containing the already-certified member plus a fresh
+        // one: only the fresh member goes through certify_many.
+        let (sp2, _) = r.register_spanner(".*y{b+}.*", Engine::Dense).unwrap();
+        let (fl, _) = r.register_fleet(&[sp.id, sp2.id]).unwrap();
+        let misses_before = r.cert_stats().misses;
+        let (verdicts, all_cached) = r.certify_fleet(&fl, &sl);
+        assert!(!all_cached);
+        assert_eq!(verdicts.len(), 2);
+        assert!(verdicts.iter().all(|v| v.as_ref().unwrap().holds()));
+        assert_eq!(r.cert_stats().misses, misses_before + 1, "one new member");
+        let (_, all_cached) = r.certify_fleet(&fl, &sl);
+        assert!(all_cached, "second fleet certification is all hits");
+    }
+
+    #[test]
+    fn fleet_registration_validates_members() {
+        let r = Registry::new();
+        assert!(r.register_fleet(&[]).is_err());
+        assert!(r.register_fleet(&[42]).is_err(), "unknown member");
+        let (a, _) = r.register_spanner(".*x{a+}.*", Engine::Dense).unwrap();
+        let (b, _) = r.register_spanner(".*x{b+}.*", Engine::Nfa).unwrap();
+        assert!(r.register_fleet(&[a.id, b.id]).is_err(), "mixed engines");
+        let (fl, cached) = r.register_fleet(&[a.id]).unwrap();
+        assert!(!cached);
+        assert_eq!(fl.member_ids, vec![a.id]);
+        let (_, cached) = r.register_fleet(&[a.id]).unwrap();
+        assert!(cached);
+    }
+}

@@ -1,0 +1,287 @@
+//! The TCP accept loop, admission control, and connection workers.
+//!
+//! Shape: one acceptor thread owns the (non-blocking) listener and a
+//! bounded admission queue of accepted connections; `workers`
+//! connection threads pull from the queue and run keep-alive HTTP
+//! sessions through [`crate::handlers::handle`]. When the queue is full
+//! the acceptor answers `429 Too Many Requests` immediately and closes
+//! — requests are *never* silently buffered beyond the configured
+//! depth, so a saturated server sheds load instead of growing latency
+//! without bound (the same backpressure discipline as the execution
+//! crate's bounded segment queues, one level up the stack).
+//!
+//! Shutdown is cooperative: [`Server::shutdown`] (or the binary's
+//! SIGTERM handler) raises a flag the acceptor polls between accepts;
+//! the acceptor stops accepting, drops the queue sender, and every
+//! worker exits after finishing its current connection. In-flight
+//! requests complete; new connections are refused.
+
+use crate::config::{ConfigError, ServerConfig};
+use crate::handlers::{handle, ServiceState};
+use crate::http::{read_request, HttpError, Response};
+use crate::json::Json;
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// How often the acceptor wakes up to poll the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// A running extraction service.
+///
+/// Bind-and-spawn with [`Server::spawn`]; the accept loop and all
+/// connection workers run on background threads until
+/// [`Server::shutdown`] (or drop, which shuts down implicitly).
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Validates `config`, binds `127.0.0.1:{config.port}` (port 0 for
+    /// an OS-assigned port), and starts the accept loop plus
+    /// `config.workers` connection threads.
+    ///
+    /// `stop` is the cooperative shutdown flag: the acceptor polls it
+    /// every few milliseconds, so an external party (a signal handler)
+    /// can raise it. [`Server::spawn`] wires a fresh private flag.
+    pub fn spawn_with_stop(
+        config: ServerConfig,
+        stop: Arc<AtomicBool>,
+    ) -> Result<Server, SpawnError> {
+        config.validate().map_err(SpawnError::Config)?;
+        let listener = TcpListener::bind(("127.0.0.1", config.port)).map_err(SpawnError::Bind)?;
+        listener.set_nonblocking(true).map_err(SpawnError::Bind)?;
+        let addr = listener.local_addr().map_err(SpawnError::Bind)?;
+        let state = Arc::new(ServiceState::new(config.clone()));
+
+        let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.queue_depth);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut workers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let rx = conn_rx.clone();
+            let state = state.clone();
+            let stop = stop.clone();
+            workers.push(std::thread::spawn(move || {
+                connection_worker(&rx, &state, &stop)
+            }));
+        }
+
+        let acceptor = {
+            let state = state.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                accept_loop(&listener, &conn_tx, &state, &stop);
+                drop(conn_tx); // disconnect: workers exit after draining
+                for w in workers {
+                    let _ = w.join();
+                }
+            })
+        };
+
+        Ok(Server {
+            addr,
+            state,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// [`Server::spawn_with_stop`] with a private stop flag.
+    pub fn spawn(config: ServerConfig) -> Result<Server, SpawnError> {
+        Server::spawn_with_stop(config, Arc::new(AtomicBool::new(false)))
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state (registries, pool, metrics).
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    /// Raises the stop flag and joins every server thread. In-flight
+    /// requests finish; queued and new connections are refused.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Why [`Server::spawn`] failed.
+#[derive(Debug)]
+pub enum SpawnError {
+    /// The configuration did not validate.
+    Config(ConfigError),
+    /// The listener could not be bound.
+    Bind(std::io::Error),
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SpawnError::Bind(e) => write!(f, "cannot bind listener: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+fn accept_loop(
+    listener: &TcpListener,
+    conn_tx: &SyncSender<TcpStream>,
+    state: &ServiceState,
+    stop: &AtomicBool,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The listener is non-blocking; accepted sockets must
+                // block (workers read whole requests).
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                // Request/response exchanges are single writes on both
+                // sides; Nagle buys nothing and costs delayed-ACK
+                // stalls on keep-alive round-trips.
+                let _ = stream.set_nodelay(true);
+                match conn_tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        state.metrics.rejected_429.fetch_add(1, Ordering::Relaxed);
+                        let mut stream = stream;
+                        let _ = Response::json(
+                            429,
+                            Json::obj(vec![(
+                                "error",
+                                Json::str("admission queue full, retry later"),
+                            )]),
+                        )
+                        .closing()
+                        .write_to(&mut stream);
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn connection_worker(rx: &Mutex<Receiver<TcpStream>>, state: &ServiceState, stop: &AtomicBool) {
+    loop {
+        let stream = match rx.lock().recv() {
+            Ok(s) => s,
+            Err(_) => return, // acceptor gone: shutdown
+        };
+        serve_connection(stream, state, stop);
+    }
+}
+
+/// Runs one keep-alive session: read request, handle, respond, repeat
+/// until the peer closes, asks to close, errors, or shutdown begins.
+fn serve_connection(stream: TcpStream, state: &ServiceState, stop: &AtomicBool) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        // Wait for the first byte of the next request under a short
+        // read timeout, polling the stop flag — an idle keep-alive
+        // connection must not pin its worker through a shutdown. The
+        // timeout only gates this idle wait; request bodies are read
+        // blocking (the clones share one socket, so options set through
+        // `writer` govern `reader` too).
+        if writer.set_read_timeout(Some(ACCEPT_POLL * 4)).is_err() {
+            return;
+        }
+        loop {
+            use std::io::BufRead;
+            match reader.fill_buf() {
+                Ok([]) => return, // clean EOF
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        if writer.set_read_timeout(None).is_err() {
+            return;
+        }
+        match read_request(&mut reader, state.config.max_body_bytes) {
+            Ok(None) => return,
+            Ok(Some(req)) => {
+                let mut response = handle(state, &req);
+                // Stop keeping the connection alive once shutdown has
+                // begun or the client asked to close.
+                if req.wants_close() || stop.load(Ordering::SeqCst) {
+                    response = response.closing();
+                }
+                let close = response.close;
+                if response.write_to(&mut writer).is_err() || close {
+                    return;
+                }
+            }
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                state.metrics.count_status(413);
+                let _ = Response::json(
+                    413,
+                    Json::obj(vec![(
+                        "error",
+                        Json::str(format!("body of {declared} bytes exceeds limit {limit}")),
+                    )]),
+                )
+                .closing()
+                .write_to(&mut writer);
+                return;
+            }
+            Err(HttpError::Malformed(m)) => {
+                state.metrics.count_status(400);
+                let _ = Response::json(
+                    400,
+                    Json::obj(vec![(
+                        "error",
+                        Json::str(format!("malformed request: {m}")),
+                    )]),
+                )
+                .closing()
+                .write_to(&mut writer);
+                return;
+            }
+            Err(HttpError::Io(_)) => return,
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! End-to-end tests against a live in-process server: protocol
+//! round-trips, concurrent-client determinism, admission control, and
+//! graceful shutdown.
+
+use splitc_server::config::ServerConfig;
+use splitc_server::handlers::offline_extract;
+use splitc_server::json::Json;
+use splitc_server::server::Server;
+use splitc_server::Client;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A spanner known to be self-split-correct under `sentences`.
+const LOCAL: &str = ".*x{a+}.*";
+/// A second split-correct spanner over a different variable.
+const LOCAL2: &str = ".*y{b+}.*";
+/// A spanner whose matches cross sentence boundaries — certification
+/// fails with a witness.
+const CROSSING: &str = r".*x{a\.a}.*";
+
+fn spawn(workers: usize, queue_depth: usize) -> Server {
+    Server::spawn(ServerConfig {
+        port: 0,
+        workers,
+        queue_depth,
+        ..ServerConfig::default()
+    })
+    .expect("spawn")
+}
+
+fn register_spanner(client: &mut Client, pattern: &str) -> String {
+    let (status, body) = client
+        .post(
+            "/spanners",
+            &Json::obj(vec![("pattern", Json::str(pattern))]),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    body.get("id").unwrap().as_str().unwrap().to_string()
+}
+
+fn register_sentences(client: &mut Client) -> String {
+    let (status, body) = client
+        .post(
+            "/splitters",
+            &Json::obj(vec![("builtin", Json::str("sentences"))]),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    body.get("id").unwrap().as_str().unwrap().to_string()
+}
+
+fn docs_json(docs: &[&str]) -> Json {
+    Json::Arr(docs.iter().map(|d| Json::str(*d)).collect())
+}
+
+#[test]
+fn register_certify_extract_roundtrip_matches_offline() {
+    let server = spawn(2, 8);
+    let mut client = Client::new(server.addr());
+
+    let spanner = register_spanner(&mut client, LOCAL);
+    let splitter = register_sentences(&mut client);
+
+    // Re-registration is a compile-cache hit with the same id.
+    let (_, body) = client
+        .post("/spanners", &Json::obj(vec![("pattern", Json::str(LOCAL))]))
+        .unwrap();
+    assert_eq!(body.get("id").unwrap().as_str().unwrap(), spanner);
+    assert_eq!(body.get("cached").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        body.get("vars").unwrap().as_arr().unwrap()[0].as_str(),
+        Some("x")
+    );
+
+    // Cold certification, then a cache hit.
+    let certify_req = Json::obj(vec![
+        ("spanner", Json::str(spanner.clone())),
+        ("splitter", Json::str(splitter.clone())),
+    ]);
+    let (status, body) = client.post("/certify", &certify_req).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body.get("holds").unwrap().as_bool(), Some(true));
+    assert_eq!(body.get("cached").unwrap().as_bool(), Some(false));
+    let (_, body) = client.post("/certify", &certify_req).unwrap();
+    assert_eq!(body.get("cached").unwrap().as_bool(), Some(true));
+
+    // Extraction matches the offline differential reference
+    // byte-for-byte.
+    let docs = ["aaa bb. cc aa", "", "no match here.", "a.a.a"];
+    let (status, body) = client
+        .post(
+            "/extract",
+            &Json::obj(vec![
+                ("spanner", Json::str(spanner.clone())),
+                ("splitter", Json::str(splitter.clone())),
+                ("docs", docs_json(&docs)),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let offline = offline_extract(&Json::obj(vec![
+        ("pattern", Json::str(LOCAL)),
+        ("splitter_builtin", Json::str("sentences")),
+        ("docs", docs_json(&docs)),
+    ]))
+    .unwrap();
+    assert_eq!(
+        body.get("relations").unwrap().to_string(),
+        offline.get("relations").unwrap().to_string(),
+        "server and offline relations must be byte-identical"
+    );
+    assert_eq!(
+        body.get("stats").unwrap().get("docs").unwrap().as_u64(),
+        Some(4)
+    );
+
+    // /stats reflects the traffic.
+    let (status, stats) = client.get("/stats").unwrap();
+    assert_eq!(status, 200);
+    let registry = stats.get("registry").unwrap();
+    assert_eq!(registry.get("spanners").unwrap().as_u64(), Some(1));
+    assert_eq!(registry.get("splitters").unwrap().as_u64(), Some(1));
+    let cert = registry.get("cert_cache").unwrap();
+    // Cold certify missed once; warm certify + the checked extract hit.
+    assert_eq!(cert.get("misses").unwrap().as_u64(), Some(1));
+    assert!(cert.get("hits").unwrap().as_u64().unwrap() >= 2);
+    assert!(
+        stats
+            .get("latency")
+            .unwrap()
+            .get("extract")
+            .unwrap()
+            .get("count")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+    let pool = stats.get("pool").unwrap();
+    assert_eq!(pool.get("workers").unwrap().as_u64(), Some(2));
+    assert!(pool.get("submitted").unwrap().as_u64().unwrap() >= 2);
+    assert!(
+        stats
+            .get("antichain")
+            .unwrap()
+            .get("runs")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+}
+
+#[test]
+fn extract_refuses_uncertified_pairs_unless_unchecked() {
+    let server = spawn(2, 8);
+    let mut client = Client::new(server.addr());
+    let spanner = register_spanner(&mut client, CROSSING);
+    let splitter = register_sentences(&mut client);
+
+    let request = Json::obj(vec![
+        ("spanner", Json::str(spanner.clone())),
+        ("splitter", Json::str(splitter.clone())),
+        ("docs", docs_json(&["a.a"])),
+    ]);
+    let (status, body) = client.post("/extract", &request).unwrap();
+    assert_eq!(status, 409, "{body}");
+    assert!(body
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("split-correct"));
+
+    // The certify endpoint reports the failure with a witness.
+    let (status, body) = client
+        .post(
+            "/certify",
+            &Json::obj(vec![
+                ("spanner", Json::str(spanner.clone())),
+                ("splitter", Json::str(splitter.clone())),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body.get("holds").unwrap().as_bool(), Some(false));
+    assert_eq!(body.get("verdict").unwrap().as_str(), Some("fails"));
+    assert!(body.get("counterexample").is_some());
+
+    // Opting out runs the (semantics-changing) per-segment evaluation.
+    let (status, body) = client
+        .post(
+            "/extract",
+            &Json::obj(vec![
+                ("spanner", Json::str(spanner)),
+                ("splitter", Json::str(splitter)),
+                ("docs", docs_json(&["a.a"])),
+                ("unchecked", Json::Bool(true)),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    // Split evaluation cannot see the boundary-crossing match.
+    assert_eq!(
+        body.get("relations").unwrap().as_arr().unwrap()[0]
+            .as_arr()
+            .unwrap()
+            .len(),
+        0
+    );
+}
+
+#[test]
+fn concurrent_clients_get_deterministic_relations() {
+    let server = spawn(4, 32);
+    let addr = server.addr();
+
+    // Set up artifacts once.
+    let mut setup = Client::new(addr);
+    let spanner_a = register_spanner(&mut setup, LOCAL);
+    let spanner_b = register_spanner(&mut setup, LOCAL2);
+    let splitter = register_sentences(&mut setup);
+    let (status, body) = setup
+        .post(
+            "/fleets",
+            &Json::obj(vec![(
+                "members",
+                Json::Arr(vec![
+                    Json::str(spanner_a.clone()),
+                    Json::str(spanner_b.clone()),
+                ]),
+            )]),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let fleet = body.get("id").unwrap().as_str().unwrap().to_string();
+
+    let docs = ["aaa bb. cc aa", "bbb. a", "", "ab ba. b.a"];
+    let spanner_req = Json::obj(vec![
+        ("spanner", Json::str(spanner_a.clone())),
+        ("splitter", Json::str(splitter.clone())),
+        ("docs", docs_json(&docs)),
+    ]);
+    let fleet_req = Json::obj(vec![
+        ("fleet", Json::str(fleet.clone())),
+        ("splitter", Json::str(splitter.clone())),
+        ("docs", docs_json(&docs)),
+    ]);
+
+    // Reference answers, serialized.
+    let (_, reference_spanner) = setup.post("/extract", &spanner_req).unwrap();
+    let (_, reference_fleet) = setup.post("/extract", &fleet_req).unwrap();
+    let reference_spanner = reference_spanner.get("relations").unwrap().to_string();
+    let reference_fleet = reference_fleet.get("relations").unwrap().to_string();
+    // The fused fleet pass and the single-spanner corpus pass agree on
+    // the shared member — no cross-request scratch aliasing.
+    let fleet_member_a: Vec<String> = Json::parse(&reference_fleet)
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|per_doc| per_doc.as_arr().unwrap()[0].to_string())
+        .collect();
+    let spanner_rel: Vec<String> = Json::parse(&reference_spanner)
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|r| r.to_string())
+        .collect();
+    assert_eq!(fleet_member_a, spanner_rel);
+
+    // 8 threads × 5 requests each, alternating spanner and fleet
+    // extractions on persistent connections.
+    let outcomes: Vec<(Vec<String>, Vec<String>)> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|t| {
+                let spanner_req = &spanner_req;
+                let fleet_req = &fleet_req;
+                scope.spawn(move || {
+                    let mut client = Client::new(addr);
+                    let mut spanner_out = Vec::new();
+                    let mut fleet_out = Vec::new();
+                    for i in 0..5 {
+                        let (req, out) = if (t + i) % 2 == 0 {
+                            (spanner_req, &mut spanner_out)
+                        } else {
+                            (fleet_req, &mut fleet_out)
+                        };
+                        let (status, body) = client.post("/extract", req).unwrap();
+                        assert_eq!(status, 200, "{body}");
+                        out.push(body.get("relations").unwrap().to_string());
+                    }
+                    (spanner_out, fleet_out)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for (spanner_out, fleet_out) in outcomes {
+        assert!(spanner_out.iter().all(|r| *r == reference_spanner));
+        assert!(fleet_out.iter().all(|r| *r == reference_fleet));
+    }
+}
+
+#[test]
+fn saturated_admission_queue_answers_429() {
+    let server = spawn(1, 1);
+    let addr = server.addr();
+
+    // Occupy the single worker and the single queue slot with idle
+    // connections, then keep connecting until one is refused. The
+    // refusal must be a well-formed 429 response.
+    let _held: Vec<TcpStream> = (0..2).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    let mut saw_429 = false;
+    let mut extra = Vec::new();
+    for _ in 0..20 {
+        std::thread::sleep(Duration::from_millis(20));
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        let mut buf = Vec::new();
+        match conn.read_to_end(&mut buf) {
+            Ok(_) if !buf.is_empty() => {
+                let text = String::from_utf8_lossy(&buf);
+                assert!(
+                    text.starts_with("HTTP/1.1 429"),
+                    "unexpected response: {text}"
+                );
+                assert!(text.contains("admission queue full"));
+                saw_429 = true;
+                break;
+            }
+            // Admitted into the queue (a slot freed up): hold it idle
+            // and try again.
+            _ => extra.push(conn),
+        }
+    }
+    assert!(saw_429, "no connection was refused with 429");
+
+    // Releasing the held connections lets new requests through again.
+    drop(_held);
+    drop(extra);
+    let mut client = Client::new(addr);
+    let (status, body) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body.get("ok").unwrap().as_bool(), Some(true));
+
+    // The refusal was counted.
+    let (_, stats) = client.get("/stats").unwrap();
+    assert!(
+        stats
+            .get("responses")
+            .unwrap()
+            .get("rejected_429")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+}
+
+#[test]
+fn protocol_errors_are_typed() {
+    // Two workers: the keep-alive client pins one for the duration of
+    // the test, and the raw socket below needs the other.
+    let server = spawn(2, 4);
+    let mut client = Client::new(server.addr());
+
+    // Unknown route.
+    let (status, _) = client.get("/nope").unwrap();
+    assert_eq!(status, 404);
+    // Bad JSON body.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(b"POST /spanners HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{")
+        .unwrap();
+    let mut buf = [0u8; 256];
+    let n = raw.read(&mut buf).unwrap();
+    assert!(std::str::from_utf8(&buf[..n])
+        .unwrap()
+        .starts_with("HTTP/1.1 400"));
+    // Unknown ids.
+    let (status, _) = client
+        .post(
+            "/certify",
+            &Json::obj(vec![
+                ("spanner", Json::str("0000000000000000")),
+                ("splitter", Json::str("0000000000000000")),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 404);
+    // Invalid pattern.
+    let (status, body) = client
+        .post("/spanners", &Json::obj(vec![("pattern", Json::str("x{"))]))
+        .unwrap();
+    assert_eq!(status, 400);
+    assert!(body.get("error").is_some());
+    // Invalid config never spawns.
+    assert!(Server::spawn(ServerConfig {
+        workers: 0,
+        ..ServerConfig::default()
+    })
+    .is_err());
+}
+
+#[test]
+fn oversized_bodies_get_413() {
+    let server = Server::spawn(ServerConfig {
+        port: 0,
+        workers: 1,
+        queue_depth: 4,
+        max_body_bytes: 2048,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(b"POST /extract HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n")
+        .unwrap();
+    let mut buf = [0u8; 256];
+    let n = raw.read(&mut buf).unwrap();
+    assert!(std::str::from_utf8(&buf[..n])
+        .unwrap()
+        .starts_with("HTTP/1.1 413"));
+}
+
+#[test]
+fn shutdown_is_graceful_and_idempotent() {
+    let mut server = spawn(2, 8);
+    let addr = server.addr();
+    let mut client = Client::new(addr);
+    let (status, _) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+
+    // Shutdown with an idle keep-alive connection still open: the
+    // worker must notice and exit rather than pinning the join.
+    server.shutdown();
+    server.shutdown(); // idempotent
+
+    // New connections are no longer served.
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut conn) => {
+            conn.set_read_timeout(Some(Duration::from_millis(300)))
+                .unwrap();
+            let _ = conn.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            let mut buf = [0u8; 16];
+            matches!(conn.read(&mut buf), Ok(0) | Err(_))
+        }
+    };
+    assert!(refused, "server still serving after shutdown");
+}

@@ -11,21 +11,30 @@ t3_certification_scaling rows are present — the antichain certification
 engine beats the determinize-first reference by the required factor at
 the largest needle `scale` point (the family whose determinization
 grows as 2^k; small points are overhead-dominated by design, the gate
-is the asymptotic one), and that — when e6 rows are present — the
+is the asymptotic one), that — when e6 rows are present — the
 prefiltered engine beats the dense engine by the required factor on the
-sparse collection workload, and that — when e7 rows are present — the
+sparse collection workload, that — when e7 rows are present — the
 fused fleet engine beats sequential per-spanner evaluation by the
 required factor at the 50-member sparse point (`e7_fleet/sparse`,
 `scale` 50 — the catalog size where one shared scan pass amortizes
 across enough members to matter, judged on the match-sparse flavor
-where pruning is the point).
+where pruning is the point), and that — when e8 rows are present — the
+server's warm (cached) registration+certification pass beats the cold
+pass by the required factor at the largest fleet size
+(`e8_server/registration`, engines `cold`/`warm`) and the concurrent
+`/extract` burst sustains the required requests/second floor
+(`e8_server/throughput`, `scale` = request count).
 
 Scaling gates key on each row's `scale` field, not on bench-name
 suffixes or row positions.
 
+Importable: `run(argv)` takes a full argv (program name included) and
+returns the process exit code; `scripts/test_bench_check.py` drives it
+directly.
+
 Usage: scripts/bench_check.py BENCH_pr.json [min-speedup] \
            [min-stream-ratio] [min-cert-speedup] [min-prefilter-speedup] \
-           [min-fleet-speedup]
+           [min-fleet-speedup] [min-server-cert-speedup] [min-req-per-s]
 """
 import json
 import sys
@@ -40,13 +49,9 @@ REQUIRED = {
 }
 
 
-def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr.json"
-    min_speedup = float(sys.argv[2]) if len(sys.argv) > 2 else 1.5
-    min_stream_ratio = float(sys.argv[3]) if len(sys.argv) > 3 else 0.0
-    min_cert_speedup = float(sys.argv[4]) if len(sys.argv) > 4 else 0.0
-    min_prefilter_speedup = float(sys.argv[5]) if len(sys.argv) > 5 else 0.0
-    min_fleet_speedup = float(sys.argv[6]) if len(sys.argv) > 6 else 0.0
+def load_rows(path):
+    """Parses and schema-checks the JSON-lines file. Returns (rows,
+    error-message-or-None)."""
     rows = []
     with open(path) as f:
         for line in f:
@@ -56,11 +61,26 @@ def main() -> int:
             row = json.loads(line)
             for key, ty in REQUIRED.items():
                 if key not in row or not isinstance(row[key], ty):
-                    print(f"schema violation in row {row!r}: field {key}")
-                    return 1
+                    return [], f"schema violation in row {row!r}: field {key}"
             rows.append(row)
     if not rows:
-        print(f"{path} is empty")
+        return [], f"{path} is empty"
+    return rows, None
+
+
+def run(argv) -> int:
+    path = argv[1] if len(argv) > 1 else "BENCH_pr.json"
+    min_speedup = float(argv[2]) if len(argv) > 2 else 1.5
+    min_stream_ratio = float(argv[3]) if len(argv) > 3 else 0.0
+    min_cert_speedup = float(argv[4]) if len(argv) > 4 else 0.0
+    min_prefilter_speedup = float(argv[5]) if len(argv) > 5 else 0.0
+    min_fleet_speedup = float(argv[6]) if len(argv) > 6 else 0.0
+    min_server_cert_speedup = float(argv[7]) if len(argv) > 7 else 0.0
+    min_req_per_s = float(argv[8]) if len(argv) > 8 else 0.0
+
+    rows, err = load_rows(path)
+    if err:
+        print(err)
         return 1
 
     by_bench = {}
@@ -160,8 +180,52 @@ def main() -> int:
         print("fleet gate requested but no e7_fleet/sparse rows at scale 50")
         return 1
 
+    # Server certification cache: warm (cached) registration+certify
+    # pass vs the cold first pass, judged at the largest fleet size.
+    server = {}
+    for row in rows:
+        if row["bench"] == "e8_server/registration":
+            server.setdefault(row["scale"], {})[row["engine"]] = row["wall_ms"]
+    gated = [k for k, e in server.items() if "cold" in e and "warm" in e]
+    if gated:
+        k = max(gated)
+        cold = server[k]["cold"]
+        warm = server[k]["warm"]
+        speedup = cold / max(warm, 1e-9)
+        print(f"e8_server/registration (fleet={k:g}): cold {cold:.2f} ms, "
+              f"warm {warm:.2f} ms -> {speedup:.2f}x")
+        if speedup < min_server_cert_speedup:
+            print(f"server cert-cache speedup {speedup:.2f}x at fleet "
+                  f"size {k:g} is below the required "
+                  f"{min_server_cert_speedup:.2f}x")
+            return 1
+    elif min_server_cert_speedup > 0.0:
+        print("server cert-cache gate requested but no e8_server/registration "
+              "rows with both cold and warm passes")
+        return 1
+
+    # Server /extract throughput floor: `scale` carries the request
+    # count of the burst, so req/s = scale / wall_s.
+    throughput = [r for r in rows if r["bench"] == "e8_server/throughput"]
+    if throughput:
+        for row in throughput:
+            rps = row["scale"] / max(row["wall_ms"] / 1e3, 1e-9)
+            print(f"e8_server/throughput ({row['engine']}): {row['scale']:g} "
+                  f"requests in {row['wall_ms']:.2f} ms -> {rps:.1f} req/s")
+            if rps < min_req_per_s:
+                print(f"server throughput {rps:.1f} req/s is below the "
+                      f"required {min_req_per_s:.1f} req/s")
+                return 1
+    elif min_req_per_s > 0.0:
+        print("server throughput gate requested but no e8_server/throughput rows")
+        return 1
+
     print(f"OK: {len(rows)} rows; best dense speedup {best:.2f}x on {best_bench}")
     return 0
+
+
+def main() -> int:
+    return run(sys.argv)
 
 
 if __name__ == "__main__":

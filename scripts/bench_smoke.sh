@@ -47,6 +47,9 @@ run e6_sparse_prefilter dense
 # Emits fused + sequential rows for every (flavor x fleet size) point
 # itself; the --engine flag is accepted-and-ignored for uniformity.
 run e7_fleet prefilter
+# Boots an in-process splitc-server; emits cold/warm registration rows
+# plus /extract burst + throughput rows for the selected engine.
+run e8_server dense
 run t2_splitcorrect_scaling dense
 # Emits both certification engines (antichain + determinize) itself;
 # the --engine flag is accepted-and-ignored for uniformity.

@@ -1,0 +1,119 @@
+#!/usr/bin/env sh
+# End-to-end smoke test for the extraction service: boots
+# `splitc-server` on an ephemeral loopback port, drives a full
+# register -> certify -> extract -> stats round-trip over real HTTP
+# (python3 stdlib http.client — no extra dependencies), compares the
+# extraction relations byte-for-byte against `splitc-server --offline`
+# (the no-server differential reference), and finally delivers SIGTERM
+# and asserts a graceful exit 0 with "shutdown complete" on stdout.
+#
+# Usage: scripts/server_smoke.sh [server-binary]
+#        (default: ./target/release/splitc-server)
+set -eu
+
+bin="${1:-./target/release/splitc-server}"
+test -x "$bin" || { echo "server binary $bin not found (build with: cargo build --release -p splitc-server)" >&2; exit 1; }
+
+log="$(mktemp)"
+trap 'rm -f "$log"; kill "$pid" 2>/dev/null || true' EXIT
+
+"$bin" --port 0 --workers 4 >"$log" 2>&1 &
+pid=$!
+
+# Wait for the bound-address line (the server prints and flushes it
+# once the listener is up).
+addr=""
+i=0
+while [ "$i" -lt 100 ]; do
+  addr="$(sed -n 's/^listening on //p' "$log")"
+  [ -n "$addr" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "server died during startup:" >&2; cat "$log" >&2; exit 1; }
+  sleep 0.1
+  i=$((i + 1))
+done
+test -n "$addr" || { echo "server never printed its address:" >&2; cat "$log" >&2; exit 1; }
+echo "== server up at $addr (pid $pid)" >&2
+
+python3 - "$addr" "$bin" <<'PY'
+import http.client
+import json
+import subprocess
+import sys
+
+addr, bin_path = sys.argv[1], sys.argv[2]
+host, port = addr.rsplit(":", 1)
+conn = http.client.HTTPConnection(host, int(port), timeout=60)
+
+
+def call(method, path, obj=None, expect=200):
+    body = None if obj is None else json.dumps(obj)
+    conn.request(method, path, body=body)
+    resp = conn.getresponse()
+    data = resp.read()
+    if resp.status != expect:
+        sys.exit(f"{method} {path}: expected {expect}, got {resp.status}: {data!r}")
+    return data
+
+
+PATTERN = ".*x{a+}.*"
+DOCS = [
+    "Alpha aaa bravo. Charlie aa delta.",
+    "Echo a foxtrot! Golf aaaa hotel? No runs here.",
+]
+
+# Register + certify (cold, then cached).
+spanner = json.loads(call("POST", "/spanners", {"pattern": PATTERN}))
+splitter = json.loads(call("POST", "/splitters", {"builtin": "sentences"}))
+pair = {"spanner": spanner["id"], "splitter": splitter["id"]}
+cert = json.loads(call("POST", "/certify", pair))
+assert cert["holds"] is True, f"pair must be self-split-correct: {cert}"
+assert cert["cached"] is False, f"first certification must run: {cert}"
+cert2 = json.loads(call("POST", "/certify", pair))
+assert cert2["cached"] is True, f"second certification must hit the cache: {cert2}"
+
+# Extract through the server, then offline; the relations payloads
+# must be byte-identical (both sides share one JSON encoder).
+body = call("POST", "/extract", {**pair, "docs": DOCS}).decode()
+prefix = '{"relations":'
+assert body.startswith(prefix), f"unexpected extract shape: {body[:80]}"
+server_rel = body[len(prefix):body.index(',"stats":')]
+
+offline_req = json.dumps(
+    {"pattern": PATTERN, "splitter_builtin": "sentences", "docs": DOCS})
+offline = subprocess.run(
+    [bin_path, "--offline"], input=offline_req, capture_output=True,
+    text=True, check=True).stdout.strip()
+assert offline.startswith(prefix) and offline.endswith("}"), \
+    f"unexpected offline shape: {offline[:80]}"
+offline_rel = offline[len(prefix):-1]
+assert server_rel == offline_rel, (
+    "server and offline relations differ:\n"
+    f"  server : {server_rel}\n  offline: {offline_rel}")
+assert server_rel != "[]", "smoke corpus must produce tuples"
+
+# Stats reflect the session: one certification miss, cache hits from
+# the re-certify and the checked extract, all responses 2xx.
+stats = json.loads(call("GET", "/stats"))
+cc = stats["registry"]["cert_cache"]
+assert cc["misses"] == 1, f"exactly one cold certification expected: {cc}"
+assert cc["hits"] >= 2, f"re-certify + checked extract must hit: {cc}"
+assert stats["responses"]["client_4xx"] == 0 \
+    and stats["responses"]["server_5xx"] == 0, \
+    f"no error responses expected: {stats['responses']}"
+assert stats["latency"]["extract"]["count"] == 1, \
+    f"one extract recorded: {stats['latency']['extract']}"
+assert stats["pool"]["workers"] == 4
+
+print("== round-trip OK: relations byte-identical to offline reference,"
+      f" {len(json.loads(server_rel))} docs extracted")
+PY
+
+# Graceful shutdown: SIGTERM -> in-flight work completes, exit 0.
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+test "$status" -eq 0 || { echo "server exited $status after SIGTERM:" >&2; cat "$log" >&2; exit 1; }
+grep -q "shutdown complete" "$log" || { echo "no graceful-shutdown marker:" >&2; cat "$log" >&2; exit 1; }
+trap 'rm -f "$log"' EXIT
+echo "== graceful shutdown OK (exit 0)" >&2
+echo "server smoke: all checks passed" >&2

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_check.py (run with
+`python3 scripts/test_bench_check.py` or unittest discovery; the CI
+`scripts-test` step does the former).
+
+Each test writes a synthetic BENCH JSON-lines file and drives
+`bench_check.run(argv)` directly, asserting the exit code — so every
+gate's pass/fail boundary is pinned without running any benchmark.
+"""
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_check  # noqa: E402
+
+
+def row(bench, engine, wall_ms, scale=1, bytes_=0, tuples=0):
+    return {"bench": bench, "engine": engine, "bytes": bytes_,
+            "scale": scale, "wall_ms": wall_ms, "tuples": tuples}
+
+
+# A minimal always-passing base: one e-series bench where dense beats
+# nfa 2x (the only unconditionally required gate).
+BASE = [row("e1_ngram_speedup", "nfa", 100.0), row("e1_ngram_speedup", "dense", 50.0)]
+
+
+class BenchCheckCase(unittest.TestCase):
+    def check(self, rows, *gates):
+        """Writes `rows` to a temp file and returns run()'s exit code."""
+        with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+            for r in rows:
+                f.write(json.dumps(r) + "\n")
+            path = f.name
+        try:
+            argv = ["bench_check.py", path] + [str(g) for g in gates]
+            return bench_check.run(argv)
+        finally:
+            os.unlink(path)
+
+
+class SchemaTests(BenchCheckCase):
+    def test_valid_base_passes(self):
+        self.assertEqual(self.check(BASE, 1.5), 0)
+
+    def test_empty_file_fails(self):
+        self.assertEqual(self.check([]), 1)
+
+    def test_missing_field_fails(self):
+        bad = dict(BASE[0])
+        del bad["scale"]
+        self.assertEqual(self.check([bad, BASE[1]]), 1)
+
+    def test_wrong_type_fails(self):
+        bad = dict(BASE[0])
+        bad["bytes"] = "lots"
+        self.assertEqual(self.check([bad, BASE[1]]), 1)
+
+    def test_no_dual_engine_bench_fails(self):
+        self.assertEqual(self.check([row("e1_ngram_speedup", "dense", 50.0)]), 1)
+
+
+class DenseSpeedupGate(BenchCheckCase):
+    def test_boundary(self):
+        # BASE is exactly 2.0x.
+        self.assertEqual(self.check(BASE, 2.0), 0)
+        self.assertEqual(self.check(BASE, 2.1), 1)
+
+
+class StreamGate(BenchCheckCase):
+    def rows(self, batch, stream):
+        return BASE + [row("e5_corpus_stream/batch", "dense", batch),
+                       row("e5_corpus_stream/stream", "dense", stream)]
+
+    def test_boundary(self):
+        # batch 90 / stream 100 = 0.9x ratio.
+        self.assertEqual(self.check(self.rows(90.0, 100.0), 1.5, 0.9), 0)
+        self.assertEqual(self.check(self.rows(90.0, 100.0), 1.5, 0.95), 1)
+
+    def test_absent_rows_are_not_gated(self):
+        # The stream gate is only applied when e5 rows exist.
+        self.assertEqual(self.check(BASE, 1.5, 10.0), 0)
+
+
+class CertGate(BenchCheckCase):
+    def rows(self, det, anti, k=8):
+        return BASE + [
+            row("t3_certification_scaling/needle", "determinize", det, scale=k),
+            row("t3_certification_scaling/needle", "antichain", anti, scale=k)]
+
+    def test_boundary(self):
+        self.assertEqual(self.check(self.rows(300.0, 100.0), 1.5, 0, 3.0), 0)
+        self.assertEqual(self.check(self.rows(300.0, 100.0), 1.5, 0, 3.1), 1)
+
+    def test_judged_at_largest_scale(self):
+        # Fails at scale 2 (1x) but holds at the larger scale 8 (3x):
+        # only the largest point is gated.
+        rows = self.rows(300.0, 100.0, k=8) + self.rows(100.0, 100.0, k=2)[2:]
+        self.assertEqual(self.check(rows, 1.5, 0, 2.0), 0)
+
+    def test_requested_but_missing_fails(self):
+        self.assertEqual(self.check(BASE, 1.5, 0, 1.2), 1)
+
+
+class PrefilterGate(BenchCheckCase):
+    def rows(self, dense, prefilter):
+        return BASE + [row("e6_sparse_prefilter", "dense", dense),
+                       row("e6_sparse_prefilter", "prefilter", prefilter)]
+
+    def test_boundary(self):
+        self.assertEqual(self.check(self.rows(200.0, 100.0), 1.5, 0, 0, 2.0), 0)
+        self.assertEqual(self.check(self.rows(200.0, 100.0), 1.5, 0, 0, 2.1), 1)
+
+    def test_requested_but_missing_fails(self):
+        self.assertEqual(self.check(BASE, 1.5, 0, 0, 1.5), 1)
+
+
+class FleetGate(BenchCheckCase):
+    def rows(self, seq, fused, scale=50):
+        return BASE + [row("e7_fleet/sparse", "sequential", seq, scale=scale),
+                       row("e7_fleet/sparse", "fused", fused, scale=scale)]
+
+    def test_boundary(self):
+        self.assertEqual(self.check(self.rows(150.0, 100.0), 1.5, 0, 0, 0, 1.5), 0)
+        self.assertEqual(self.check(self.rows(150.0, 100.0), 1.5, 0, 0, 0, 1.6), 1)
+
+    def test_gate_is_the_scale_50_point(self):
+        # Rows only at scale 10 do not satisfy a requested fleet gate.
+        self.assertEqual(
+            self.check(self.rows(150.0, 100.0, scale=10), 1.5, 0, 0, 0, 1.2), 1)
+
+
+class ServerCertGate(BenchCheckCase):
+    def rows(self, cold, warm, scale=24):
+        return BASE + [row("e8_server/registration", "cold", cold, scale=scale),
+                       row("e8_server/registration", "warm", warm, scale=scale)]
+
+    def test_boundary(self):
+        self.assertEqual(
+            self.check(self.rows(100.0, 50.0), 1.5, 0, 0, 0, 0, 2.0), 0)
+        self.assertEqual(
+            self.check(self.rows(100.0, 50.0), 1.5, 0, 0, 0, 0, 2.1), 1)
+
+    def test_judged_at_largest_fleet(self):
+        # 1.5x at fleet 4, 4x at fleet 24: the larger point is gated.
+        rows = (self.rows(100.0, 25.0, scale=24)
+                + self.rows(75.0, 50.0, scale=4)[2:])
+        self.assertEqual(self.check(rows, 1.5, 0, 0, 0, 0, 3.0), 0)
+
+    def test_requested_but_missing_fails(self):
+        self.assertEqual(self.check(BASE, 1.5, 0, 0, 0, 0, 2.0), 1)
+
+
+class ThroughputGate(BenchCheckCase):
+    def rows(self, requests, wall_ms):
+        return BASE + [row("e8_server/throughput", "dense", wall_ms,
+                           scale=requests)]
+
+    def test_boundary(self):
+        # 32 requests in 4000 ms = 8 req/s.
+        self.assertEqual(self.check(self.rows(32, 4000.0),
+                                    1.5, 0, 0, 0, 0, 0, 8.0), 0)
+        self.assertEqual(self.check(self.rows(32, 4000.0),
+                                    1.5, 0, 0, 0, 0, 0, 8.1), 1)
+
+    def test_requested_but_missing_fails(self):
+        self.assertEqual(self.check(BASE, 1.5, 0, 0, 0, 0, 0, 5.0), 1)
+
+    def test_absent_rows_are_not_gated_when_unrequested(self):
+        self.assertEqual(self.check(BASE, 1.5), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -38,6 +38,7 @@
 //! | [`spanner`] | spans, ref-words, regex formulas, VSet-automata, splitters |
 //! | [`core`] | the paper's decision procedures (split-correctness, splittability, …) |
 //! | [`exec`] | parallel + incremental + streaming corpus execution engine |
+//! | [`server`] | extraction-as-a-service: HTTP server, compile/certification caches |
 //! | [`textgen`] | synthetic corpora and workload extractors |
 //!
 //! How the crates compose — the regex → VSA/eVSA → engine → execution
@@ -51,6 +52,7 @@
 pub use splitc_automata as automata;
 pub use splitc_core as core;
 pub use splitc_exec as exec;
+pub use splitc_server as server;
 pub use splitc_spanner as spanner;
 pub use splitc_textgen as textgen;
 
