@@ -118,6 +118,42 @@ proptest! {
     }
 
     #[test]
+    fn hopcroft_equivalent_to_unminimized(ra in rand_nfa(6, 2)) {
+        // (a) word samples: every word up to length 6 is classified
+        // identically by the raw determinization and its Hopcroft
+        // minimization...
+        let a = ra.build();
+        let d = Dfa::determinize(&a);
+        let m = d.minimize_hopcroft();
+        for len in 0..=6usize {
+            for wi in 0..(1u32 << len) {
+                let w: Vec<Sym> = (0..len).map(|i| Sym((wi >> i) & 1)).collect();
+                prop_assert_eq!(d.accepts(&w), m.accepts(&w));
+            }
+        }
+        // ...and (b) via the antichain containment check, both
+        // directions, on the full (unbounded) languages.
+        let dn = d.to_nfa();
+        let mn = m.to_nfa();
+        prop_assert!(contains(&dn, &mn).holds());
+        prop_assert!(contains(&mn, &dn).holds());
+    }
+
+    #[test]
+    fn hopcroft_is_fixpoint_and_minimal(ra in rand_nfa(6, 2)) {
+        let a = ra.build();
+        let m = Dfa::determinize(&a).minimize_hopcroft();
+        // Fixpoint: re-minimizing cannot merge or drop anything.
+        let mm = m.minimize_hopcroft();
+        prop_assert_eq!(mm.num_states(), m.num_states());
+        // Agreement with the Moore minimizer on state count (both are
+        // minimal up to the treatment of the dead state, which Hopcroft
+        // prunes and Moore may keep reachable).
+        let moore = Dfa::determinize(&a).minimize();
+        prop_assert!(m.num_states() <= moore.num_states());
+    }
+
+    #[test]
     fn trim_preserves_language(ra in rand_nfa(6, 2)) {
         let a = ra.build();
         let t = a.trim();

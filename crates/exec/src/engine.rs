@@ -1,5 +1,6 @@
 //! The parallel split-evaluation engine.
 
+use splitc_spanner::aot::{AotConfig, AotEvsa};
 use splitc_spanner::dense::{DenseCache, DenseConfig, DenseEvsa};
 use splitc_spanner::eval::eval_evsa;
 use splitc_spanner::evsa::EVsa;
@@ -37,6 +38,15 @@ pub enum Engine {
     /// (see [`splitc_spanner::prefilter`]). Falls back to plain dense
     /// behavior when the analysis finds nothing usable.
     Prefilter,
+    /// Ahead-of-time tier: full determinization under a state budget,
+    /// Hopcroft-minimized forward DFA, flat premultiplied `u16` tables
+    /// stepped 4 bytes per iteration, composed with the prefilter gate
+    /// and skip-loop (see [`splitc_spanner::aot`]). Tiering is automatic
+    /// at compile time: when determinization exceeds the budget the
+    /// spanner silently degrades to the lazy [`Engine::Dense`] tier —
+    /// [`ExecSpanner::engine`] still reports `Aot` (the request),
+    /// [`ExecSpanner::tier`] reports what actually compiled.
+    Aot,
 }
 
 impl Engine {
@@ -46,6 +56,7 @@ impl Engine {
             Engine::Nfa => "nfa",
             Engine::Dense => "dense",
             Engine::Prefilter => "prefilter",
+            Engine::Aot => "aot",
         }
     }
 }
@@ -58,8 +69,9 @@ impl std::str::FromStr for Engine {
             "nfa" => Ok(Engine::Nfa),
             "dense" => Ok(Engine::Dense),
             "prefilter" => Ok(Engine::Prefilter),
+            "aot" => Ok(Engine::Aot),
             other => Err(format!(
-                "unknown engine {other:?} (expected nfa|dense|prefilter)"
+                "unknown engine {other:?} (expected nfa|dense|prefilter|aot)"
             )),
         }
     }
@@ -175,10 +187,38 @@ impl EngineBackend for PrefilterBackend {
     }
 }
 
+/// The ahead-of-time premultiplied-table engine.
+#[derive(Debug)]
+struct AotBackend(Arc<AotEvsa>);
+
+impl EngineBackend for AotBackend {
+    fn kind(&self) -> Engine {
+        Engine::Aot
+    }
+    fn evsa(&self) -> &Arc<EVsa> {
+        self.0.evsa_arc()
+    }
+    fn eval_scratch(
+        &self,
+        doc: &[u8],
+        cache: &mut DenseCache,
+        stats: &mut PrefilterStats,
+    ) -> SpanRelation {
+        self.0.eval_with(doc, cache, stats)
+    }
+    fn eval_pooled(&self, doc: &[u8]) -> SpanRelation {
+        self.0.eval(doc)
+    }
+}
+
 /// A spanner compiled for repeated evaluation.
 #[derive(Debug, Clone)]
 pub struct ExecSpanner {
     evsa: Arc<EVsa>,
+    /// The engine the caller asked for (what [`ExecSpanner::engine`]
+    /// reports); compile-time tiering may have placed the backend on a
+    /// lower tier (see [`ExecSpanner::tier`]).
+    requested: Engine,
     /// The engine behind the object-safe backend interface. The dense
     /// and prefilter backends pool scan caches internally; executors
     /// that manage per-worker scratch call
@@ -204,6 +244,20 @@ impl ExecSpanner {
         ExecSpanner::from_evsa(evsa, engine, None, DenseConfig::default())
     }
 
+    /// [`ExecSpanner::compile_with`] plus an explicit dense-engine
+    /// configuration (cache bound, skip-loop) applied to whichever tier
+    /// actually compiles — used by the engine-matrix differential
+    /// harness to starve lazy-DFA caches under every engine.
+    pub fn compile_with_config(vsa: &Vsa, engine: Engine, config: DenseConfig) -> ExecSpanner {
+        let f = if vsa.is_functional() {
+            vsa.trim()
+        } else {
+            vsa.functionalize()
+        };
+        let evsa = Arc::new(EVsa::from_functional(&f));
+        ExecSpanner::from_evsa(evsa, engine, None, config)
+    }
+
     /// Builds the spanner for an already-compiled automaton, optionally
     /// indexing the dense tables by a shared byte partition (the fleet
     /// engine passes the coarsest common refinement across its
@@ -224,12 +278,44 @@ impl ExecSpanner {
                 Some(c) => PrefilteredEvsa::compile_with_classes(evsa.clone(), config, c),
                 None => PrefilteredEvsa::compile(evsa.clone(), config),
             }))),
+            Engine::Aot => {
+                let aot_config = AotConfig {
+                    dense: config,
+                    ..AotConfig::default()
+                };
+                let aot = match classes.clone() {
+                    Some(c) => AotEvsa::compile_with_classes(evsa.clone(), aot_config, c),
+                    None => AotEvsa::compile(evsa.clone(), aot_config),
+                };
+                match aot {
+                    Some(a) => Arc::new(AotBackend(Arc::new(a))),
+                    // Over budget: degrade to the lazy dense tier, which
+                    // is exact at any automaton size.
+                    None => Arc::new(DenseBackend(Arc::new(match classes {
+                        Some(c) => DenseEvsa::compile_with_classes(evsa.clone(), config, c),
+                        None => DenseEvsa::compile(evsa.clone(), config),
+                    }))),
+                }
+            }
         };
-        ExecSpanner { evsa, backend }
+        ExecSpanner {
+            evsa,
+            requested: engine,
+            backend,
+        }
     }
 
-    /// The engine this spanner was compiled for.
+    /// The engine this spanner was compiled for (as requested; see
+    /// [`ExecSpanner::tier`] for the tier actually chosen).
     pub fn engine(&self) -> Engine {
+        self.requested
+    }
+
+    /// The engine tier the compile-time tiering actually selected:
+    /// equals [`ExecSpanner::engine`] except when an [`Engine::Aot`]
+    /// request exceeded the determinization budget and degraded to
+    /// [`Engine::Dense`].
+    pub fn tier(&self) -> Engine {
         self.backend.kind()
     }
 
@@ -501,6 +587,31 @@ mod tests {
             assert_eq!(pre.eval(doc), dense.eval(doc));
             assert_eq!(
                 evaluate_split(&pre, &split, doc, 2),
+                evaluate_split(&dense, &split, doc, 2)
+            );
+        }
+    }
+
+    #[test]
+    fn aot_engine_agrees_and_reports_tier() {
+        let pat = "(.*[^0-9]|)x{[0-9]+}([^0-9].*|)";
+        let p = Rgx::parse(pat).unwrap().to_vsa().unwrap();
+        let dense = ExecSpanner::compile_with(&p, Engine::Dense);
+        let aot = ExecSpanner::compile_with(&p, Engine::Aot);
+        assert_eq!(aot.engine(), Engine::Aot);
+        assert_eq!(aot.tier(), Engine::Aot, "small spanner must fit the budget");
+        assert_eq!(dense.tier(), Engine::Dense);
+        assert_eq!("aot".parse::<Engine>().unwrap(), Engine::Aot);
+        let split: SplitFn = Arc::new(native::sentences);
+        for doc in [
+            b"no numbers anywhere. plain words. more text".as_slice(),
+            b"answer 42. or 7 maybe. none here",
+            b"",
+            b"...",
+        ] {
+            assert_eq!(aot.eval(doc), dense.eval(doc));
+            assert_eq!(
+                evaluate_split(&aot, &split, doc, 2),
                 evaluate_split(&dense, &split, doc, 2)
             );
         }

@@ -708,7 +708,7 @@ mod tests {
 
     #[test]
     fn eval_matches_per_member_eval() {
-        for engine in [Engine::Nfa, Engine::Dense, Engine::Prefilter] {
+        for engine in [Engine::Nfa, Engine::Dense, Engine::Prefilter, Engine::Aot] {
             let fleet = fleet_of(&PATS, engine);
             for doc in docs() {
                 let fused = fleet.eval(&doc);
@@ -734,7 +734,7 @@ mod tests {
             queue_depth: 2,
             chunk_bytes: 3,
         };
-        for engine in [Engine::Nfa, Engine::Dense, Engine::Prefilter] {
+        for engine in [Engine::Nfa, Engine::Dense, Engine::Prefilter, Engine::Aot] {
             let fleet = Arc::new(fleet_of(&PATS, engine));
             let runner = FleetRunner::new(fleet.clone(), splitter::sentences().compile(), config);
             let got = runner.run_slices(&refs);

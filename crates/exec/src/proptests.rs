@@ -105,15 +105,12 @@ proptest! {
         workers in 0usize..5,
         batch_bytes in 1usize..32,
         chunk_bytes in 1usize..16,
-        engine_pick in 0usize..3,
+        engine_pick in 0usize..4,
     ) {
-        // All three engines, including Prefilter (gate + skip-loop),
-        // over random chunkings down to 1-byte streaming chunks.
-        let engine = match engine_pick {
-            0 => Engine::Nfa,
-            1 => Engine::Dense,
-            _ => Engine::Prefilter,
-        };
+        // All four engines, including Prefilter (gate + skip-loop)
+        // and the AOT premultiplied tables, over random chunkings down
+        // to 1-byte streaming chunks.
+        let engine = pick_engine(engine_pick);
         let vsa = Rgx::parse(PATTERNS[pi]).unwrap().to_vsa().unwrap();
         let spanner = ExecSpanner::compile_with(&vsa, engine);
         let s = splitter::sentences();
@@ -151,87 +148,17 @@ proptest! {
 //    never changes any member's output.
 
 use crate::fleet::{Fleet, FleetRunner};
-use splitc_spanner::byteset::ByteSet;
 use splitc_spanner::dense::DenseConfig;
-use splitc_spanner::rgx::Ast;
 use splitc_spanner::vsa::Vsa;
+use splitc_textgen::spangen::{rand_fleet, Mix};
 use std::sync::Arc;
 
-/// Tiny SplitMix64 stream for seeded fleet generation (the proptest
-/// shim samples the seed; the structure is derived deterministically).
-struct Mix(u64);
-
-impl Mix {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, bound: u64) -> u64 {
-        self.next() % bound
-    }
-}
-
-/// A random variable-free regex AST over the `{a, b, c, ., any}`
-/// document alphabet, depth-bounded.
-fn rand_boolean_ast(rng: &mut Mix, depth: usize) -> Ast {
-    let leaf = |rng: &mut Mix| match rng.below(6) {
-        0 => Ast::Bytes(ByteSet::single(b'a')),
-        1 => Ast::Bytes(ByteSet::single(b'b')),
-        2 => Ast::Bytes(ByteSet::single(b'c')),
-        3 => Ast::Bytes(ByteSet::from_bytes(b"ab")),
-        4 => Ast::Bytes(ByteSet::FULL),
-        _ => Ast::Epsilon,
-    };
-    if depth == 0 {
-        return leaf(rng);
-    }
-    match rng.below(6) {
-        0 | 1 => leaf(rng),
-        2 => Ast::Concat(vec![
-            rand_boolean_ast(rng, depth - 1),
-            rand_boolean_ast(rng, depth - 1),
-        ]),
-        3 => Ast::Alt(vec![
-            rand_boolean_ast(rng, depth - 1),
-            rand_boolean_ast(rng, depth - 1),
-        ]),
-        4 => Ast::Star(Box::new(rand_boolean_ast(rng, depth - 1))),
-        _ => Ast::Opt(Box::new(rand_boolean_ast(rng, depth - 1))),
-    }
-}
-
-/// A random functional spanner: one variable at a fixed slot with
-/// random boolean contexts around it. The pool deliberately spans the
-/// fleet's whole gate spectrum — members with strong literal evidence,
-/// members with only a required byte set, and catch-alls with nothing
-/// for the scanner (always dispatched).
-fn rand_member_vsa(rng: &mut Mix) -> Vsa {
-    let parts = vec![
-        rand_boolean_ast(rng, 2),
-        Ast::Var("x".into(), Box::new(rand_boolean_ast(rng, 2))),
-        rand_boolean_ast(rng, 2),
-    ];
-    Rgx::from_ast(Ast::Concat(parts))
-        .expect("generated variables are well-formed")
-        .to_vsa()
-        .expect("generated AST is functional by construction")
-}
-
-/// A seeded fleet of `n` random spanners.
-fn rand_fleet(seed: u64, n: usize) -> Vec<Vsa> {
-    let mut rng = Mix(seed);
-    (0..n).map(|_| rand_member_vsa(&mut rng)).collect()
-}
-
 fn pick_engine(pick: usize) -> Engine {
-    match pick % 3 {
+    match pick % 4 {
         0 => Engine::Nfa,
         1 => Engine::Dense,
-        _ => Engine::Prefilter,
+        2 => Engine::Prefilter,
+        _ => Engine::Aot,
     }
 }
 
@@ -248,7 +175,7 @@ proptest! {
         seed in 0u64..u64::MAX,
         n in 1usize..33,
         docs in proptest::collection::vec(doc_strategy(), 0..5),
-        engine_pick in 0usize..3,
+        engine_pick in 0usize..4,
         chunk_bytes in 1usize..16,
         workers in 0usize..4,
         starve_pick in 0usize..2,
@@ -298,7 +225,7 @@ proptest! {
         seed in 0u64..u64::MAX,
         n in 1usize..12,
         docs in proptest::collection::vec(doc_strategy(), 1..4),
-        engine_pick in 0usize..3,
+        engine_pick in 0usize..4,
         perm_seed in 0u64..u64::MAX,
     ) {
         let engine = pick_engine(engine_pick);
@@ -330,7 +257,7 @@ proptest! {
         n in 1usize..12,
         k_pick in 0u64..u64::MAX,
         docs in proptest::collection::vec(doc_strategy(), 1..4),
-        engine_pick in 0usize..3,
+        engine_pick in 0usize..4,
     ) {
         let engine = pick_engine(engine_pick);
         let vsas = rand_fleet(seed, n);
@@ -358,7 +285,7 @@ proptest! {
         n in 2usize..12,
         cut_pick in 0u64..u64::MAX,
         docs in proptest::collection::vec(doc_strategy(), 1..4),
-        engine_pick in 0usize..3,
+        engine_pick in 0usize..4,
     ) {
         let engine = pick_engine(engine_pick);
         let vsas = rand_fleet(seed, n);

@@ -151,6 +151,10 @@ fn register_spanner(state: &ServiceState, body: &Json) -> Response {
                 ("id", Json::str(hex_id(entry.id))),
                 ("cached", Json::Bool(cached)),
                 ("engine", Json::str(entry.engine.name())),
+                // The tier compile-time tiering actually chose: equals
+                // the engine except when an `aot` request exceeded the
+                // determinization budget and degraded to `dense`.
+                ("tier", Json::str(entry.exec.tier().name())),
                 (
                     "vars",
                     Json::Arr(
@@ -612,6 +616,22 @@ fn stats(state: &ServiceState) -> Response {
     let cert = state.registry.cert_stats();
     let pool = state.pool.stats();
     let antichain = splitc_automata::cumulative_stats();
+    // Per-entry engine/tier listing: the tier differs from the engine
+    // exactly when an `aot` request fell back to the lazy dense tier.
+    let entries = Json::Arr(
+        state
+            .registry
+            .spanner_entries()
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("id", Json::str(hex_id(e.id))),
+                    ("engine", Json::str(e.engine.name())),
+                    ("tier", Json::str(e.exec.tier().name())),
+                ])
+            })
+            .collect(),
+    );
     let mut doc = vec![
         (
             "registry".to_string(),
@@ -619,6 +639,7 @@ fn stats(state: &ServiceState) -> Response {
                 ("spanners", Json::num(spanners as u32)),
                 ("splitters", Json::num(splitters as u32)),
                 ("fleets", Json::num(fleets as u32)),
+                ("entries", entries),
                 (
                     "compile_cache",
                     Json::obj(vec![

@@ -330,6 +330,15 @@ impl Registry {
         }
     }
 
+    /// All registered spanner entries, sorted by id for deterministic
+    /// listings (`/stats` reports each entry's requested engine and the
+    /// tier compile-time tiering actually chose).
+    pub fn spanner_entries(&self) -> Vec<Arc<SpannerEntry>> {
+        let mut entries: Vec<Arc<SpannerEntry>> = self.spanners.lock().values().cloned().collect();
+        entries.sort_by_key(|e| e.id);
+        entries
+    }
+
     /// `(spanners, splitters, fleets)` currently registered.
     pub fn counts(&self) -> (usize, usize, usize) {
         (

@@ -155,6 +155,92 @@ fn register_certify_extract_roundtrip_matches_offline() {
 }
 
 #[test]
+fn aot_and_dense_engines_are_distinct_entries_with_identical_bytes() {
+    let server = spawn(2, 8);
+    let mut client = Client::new(server.addr());
+    let splitter = register_sentences(&mut client);
+
+    // The same pattern under `aot` and `dense` engines: the compile
+    // cache must key on the tier, producing two distinct entries...
+    let mut ids = Vec::new();
+    for engine in ["aot", "dense"] {
+        let (status, body) = client
+            .post(
+                "/spanners",
+                &Json::obj(vec![
+                    ("pattern", Json::str(LOCAL)),
+                    ("engine", Json::str(engine)),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.get("cached").unwrap().as_bool(), Some(false));
+        assert_eq!(body.get("engine").unwrap().as_str(), Some(engine));
+        // A small pattern fits the AOT budget: requested tier == chosen.
+        assert_eq!(body.get("tier").unwrap().as_str(), Some(engine));
+        ids.push(body.get("id").unwrap().as_str().unwrap().to_string());
+    }
+    assert_ne!(ids[0], ids[1], "tiers must not share compile-cache keys");
+    // ...and re-registering under each engine hits its own entry.
+    for (engine, id) in [("aot", &ids[0]), ("dense", &ids[1])] {
+        let (_, body) = client
+            .post(
+                "/spanners",
+                &Json::obj(vec![
+                    ("pattern", Json::str(LOCAL)),
+                    ("engine", Json::str(engine)),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(body.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(body.get("id").unwrap().as_str().unwrap(), id);
+    }
+
+    // /extract bytes are identical under both tiers.
+    let docs = ["aaa bb. cc aa", "", "no match here.", "a.a.a"];
+    let mut relations = Vec::new();
+    for id in &ids {
+        let (status, body) = client
+            .post(
+                "/extract",
+                &Json::obj(vec![
+                    ("spanner", Json::str(id.clone())),
+                    ("splitter", Json::str(splitter.clone())),
+                    ("docs", docs_json(&docs)),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+        relations.push(body.get("relations").unwrap().to_string());
+    }
+    assert_eq!(
+        relations[0], relations[1],
+        "aot and dense tiers must extract byte-identical relations"
+    );
+
+    // /stats reports the chosen tier per registry entry.
+    let (status, stats) = client.get("/stats").unwrap();
+    assert_eq!(status, 200);
+    let entries = stats
+        .get("registry")
+        .unwrap()
+        .get("entries")
+        .unwrap()
+        .as_arr()
+        .unwrap();
+    assert_eq!(entries.len(), 2);
+    for id in &ids {
+        let entry = entries
+            .iter()
+            .find(|e| e.get("id").unwrap().as_str() == Some(id))
+            .expect("registered entry listed in /stats");
+        let engine = entry.get("engine").unwrap().as_str().unwrap();
+        let tier = entry.get("tier").unwrap().as_str().unwrap();
+        assert_eq!(tier, engine, "small pattern: requested tier compiled");
+    }
+}
+
+#[test]
 fn extract_refuses_uncertified_pairs_unless_unchecked() {
     let server = spawn(2, 8);
     let mut client = Client::new(server.addr());

@@ -185,13 +185,15 @@ pub struct DenseCache {
     /// currently holds (`None` = fresh).
     owner: Option<u64>,
     /// Backward-DFA state id per document position (`len = doc.len()+1`).
-    ids_buf: Vec<u32>,
+    /// Shared with the AOT engine ([`crate::aot`]), which rewrites it
+    /// wholesale per scan (no ownership hazard: nothing lazy survives).
+    pub(crate) ids_buf: Vec<u32>,
     /// Bytes resolved by the skip-loop scanner instead of table steps.
-    skipped: u64,
+    pub(crate) skipped: u64,
     /// Reusable forward-enumeration buffers (variable tables, undo
     /// trail, frame stack), shared across every document this cache
     /// evaluates.
-    scratch: EnumScratch,
+    pub(crate) scratch: EnumScratch,
 }
 
 impl DenseCache {
@@ -226,28 +228,29 @@ pub struct DenseEvsa {
     /// Unique identity for [`DenseCache`] ownership checks.
     engine_id: u64,
     classes: ByteClasses,
-    /// Number of byte classes.
-    nc: usize,
+    /// Number of byte classes. The adjacency CSRs below are shared with
+    /// the AOT engine ([`crate::aot`]), which determinizes them eagerly.
+    pub(crate) nc: usize,
     /// Number of eVSA states.
     ns: usize,
     /// Bitset words per power-set state.
-    words: usize,
+    pub(crate) words: usize,
     /// CSR of transition indices per `(state, class)`; values index into
     /// `evsa.transitions_from(state)`.
     edge_off: Vec<u32>,
     edge_pool: Vec<u32>,
     /// CSR of deduplicated successor states per `(state, class)`.
-    succ_off: Vec<u32>,
-    succ_pool: Vec<StateId>,
+    pub(crate) succ_off: Vec<u32>,
+    pub(crate) succ_pool: Vec<StateId>,
     /// CSR of deduplicated predecessor states per `(state, class)`.
-    pred_off: Vec<u32>,
-    pred_pool: Vec<StateId>,
+    pub(crate) pred_off: Vec<u32>,
+    pub(crate) pred_pool: Vec<StateId>,
     /// States with at least one final block, as a bitset.
-    finals: Box<[u64]>,
+    pub(crate) finals: Box<[u64]>,
     /// `{start}` as a bitset.
-    start_set: Box<[u64]>,
+    pub(crate) start_set: Box<[u64]>,
     /// Post flags (see [`crate::eval`]), precomputed once.
-    post: Vec<bool>,
+    pub(crate) post: Vec<bool>,
     /// Reusable scan caches, one handed to each concurrent evaluation.
     caches: Mutex<Vec<DenseCache>>,
 }
@@ -711,7 +714,9 @@ impl ViableSource for LazyViable<'_> {
 }
 
 /// Edge source backed by the precompiled per-(state, class) lists.
-struct DenseEdges<'a>(&'a DenseEvsa);
+/// Shared with the AOT engine, whose forward enumeration runs over the
+/// same dense edge tables.
+pub(crate) struct DenseEdges<'a>(pub(crate) &'a DenseEvsa);
 
 impl EdgeSource for DenseEdges<'_> {
     #[inline]

@@ -47,6 +47,25 @@ pub(crate) trait ViableSource {
     /// Whether acceptance is still reachable from state `q` at document
     /// position `pos`.
     fn viable(&self, pos: usize, q: StateId) -> bool;
+
+    /// Scan-skip acceleration hook: the furthest position `p >= pos`
+    /// such that at every position `t` in `pos..p` the *only* viable
+    /// move of `q` is a block-free self-loop — the self-loop's mask
+    /// contains `doc[t]`, `q` stays viable at `t + 1`, and every other
+    /// transition is dead (mask mismatch or non-viable target). Under
+    /// that guarantee the forward enumeration may advance a frame from
+    /// `pos` to `p` without visiting the intermediate positions: no
+    /// variable operations fire (the block is empty), no alternative
+    /// branches exist to backtrack into, and finals only matter at
+    /// `doc.len()` (`p` never exceeds it).
+    ///
+    /// The default (no skipping) is correct for every engine; the AOT
+    /// tier overrides it with a precompiled `(viability id × byte
+    /// class)` table — see `crate::aot`.
+    #[inline]
+    fn scan_skip(&self, _doc: &[u8], pos: usize, _q: StateId) -> usize {
+        pos
+    }
 }
 
 /// The edges of one state worth trying for one document byte.
@@ -318,8 +337,16 @@ pub(crate) fn forward_enumerate_scratch<V: ViableSource, E: EdgeSource>(
     });
 
     while let Some(frame) = stack.last_mut() {
-        let pos = frame.pos;
         let state = frame.state;
+        if !frame.emitted_finals && frame.pos < n {
+            // First visit of this frame: let the engine fast-forward
+            // through positions where the only viable move is `state`'s
+            // block-free self-loop (see [`ViableSource::scan_skip`]).
+            // Backtracking is unaffected — skipped positions provably
+            // have no alternative edges to revisit.
+            frame.pos = viable.scan_skip(doc, frame.pos, state);
+        }
+        let pos = frame.pos;
 
         if !frame.emitted_finals {
             frame.emitted_finals = true;

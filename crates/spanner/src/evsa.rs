@@ -404,6 +404,15 @@ impl EVsa {
         crate::prefilter::PrefilteredEvsa::compile(Arc::new(self.clone()), config)
     }
 
+    /// Compiles a shared copy of this automaton for the ahead-of-time
+    /// engine (full determinization + Hopcroft minimization + flat
+    /// premultiplied tables, see [`crate::aot`]). Returns `None` when
+    /// determinization exceeds the budget in `config` — callers should
+    /// then fall back to [`EVsa::compile_dense`].
+    pub fn compile_aot(&self, config: crate::aot::AotConfig) -> Option<crate::aot::AotEvsa> {
+        crate::aot::AotEvsa::compile(Arc::new(self.clone()), config)
+    }
+
     /// Whether the normalized expansion would be deterministic: at most
     /// one continuation per (state, next extended symbol). This matches
     /// the paper's dfVSA after conversion.

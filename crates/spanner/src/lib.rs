@@ -42,6 +42,11 @@
 //!   literal, required byte class) gates documents before any DFA step,
 //!   and the lazy DFA's skip-loop crosses `Σ*` contexts with a SWAR
 //!   scanner; trivial analyses fall back to plain dense evaluation.
+//! * [`aot`] — the ahead-of-time engine tier: budget-bounded full
+//!   determinization of both scan directions, Hopcroft minimization of
+//!   the forward DFA, and flat premultiplied `u16` transition tables
+//!   (accept/empty flags packed into bit 15) stepped 4 bytes per
+//!   iteration; falls back to [`dense`] when the budget is exceeded.
 //! * [`stream`] — incremental splitter simulation: a forward-only step
 //!   API ([`stream::SplitterState`]) emitting split spans chunk by chunk
 //!   without materializing the document, behind the streaming corpus
@@ -51,6 +56,7 @@
 //! VSA → eVSA → dense/stream engines → execution layer) lives in the
 //! repository's top-level `ARCHITECTURE.md`.
 
+pub mod aot;
 pub mod byteset;
 pub mod dense;
 pub mod equiv;
@@ -67,6 +73,7 @@ pub mod tuple;
 pub mod vars;
 pub mod vsa;
 
+pub use aot::{AotConfig, AotEvsa};
 pub use dense::{DenseCache, DenseCacheStats, DenseConfig, DenseEvsa};
 pub use equiv::{
     spanner_contains, spanner_contains_with, spanner_equivalent, spanner_equivalent_with,

@@ -1,17 +1,20 @@
-//! Property-based tests for the spanner crate.
+//! Property-based tests for the spanner crate: the formalism-level
+//! invariants (reference evaluation, determinization/functionalization,
+//! composition, disjointness, algebra).
+//!
+//! Per-engine differential coverage (nfa / dense / prefilter / aot ×
+//! batch / streaming / fleet, starved caches, sparse documents) lives in
+//! the repository-wide engine-matrix harness (`tests/engine_matrix.rs`
+//! at the workspace root), which draws random spanners from the shared
+//! generator in `splitc_textgen::spangen` — new engines register there
+//! instead of growing a copy-pasted suite here.
 
-use crate::byteset::ByteSet;
-use crate::dense::{DenseConfig, DenseEvsa};
-use crate::eval::{eval, eval_evsa, reference_eval};
-use crate::evsa::EVsa;
-use crate::prefilter::PrefilteredEvsa;
-use crate::rgx::{Ast, Rgx};
+use crate::eval::{eval, reference_eval};
+use crate::rgx::Rgx;
 use crate::splitter::{compose, Splitter};
 use crate::tuple::SpanRelation;
 use crate::vsa::Vsa;
 use proptest::prelude::*;
-use std::sync::Arc;
-
 const PATTERNS: &[&str] = &[
     "x{a+}",
     ".*x{a}.*",
@@ -37,92 +40,8 @@ fn doc_strategy() -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'.')], 0..8)
 }
 
-/// Match-sparse documents: long runs of filler with rare interesting
-/// bytes — the shape the prefilter gate and skip-loop are built for.
-fn sparse_doc_strategy() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(0u8..17, 0..64).prop_map(|v| {
-        v.into_iter()
-            .map(|x| match x {
-                0 => b'a',
-                1..=8 => b'b',
-                _ => b'.',
-            })
-            .collect()
-    })
-}
-
 fn compile(p: &str) -> Vsa {
     Rgx::parse(p).unwrap().to_vsa().unwrap()
-}
-
-/// Tiny SplitMix64 stream for seeded AST generation (the proptest shim
-/// samples the seed; the structure is derived deterministically).
-struct Mix(u64);
-
-impl Mix {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, bound: u64) -> u64 {
-        self.next() % bound
-    }
-}
-
-/// A random variable-free regex AST over the `{a, b, .}` document
-/// alphabet, depth-bounded.
-fn rand_boolean_ast(rng: &mut Mix, depth: usize) -> Ast {
-    let leaf = |rng: &mut Mix| match rng.below(5) {
-        0 => Ast::Bytes(ByteSet::single(b'a')),
-        1 => Ast::Bytes(ByteSet::single(b'b')),
-        2 => Ast::Bytes(ByteSet::from_bytes(b"ab")),
-        3 => Ast::Bytes(ByteSet::FULL),
-        _ => Ast::Epsilon,
-    };
-    if depth == 0 {
-        return leaf(rng);
-    }
-    match rng.below(6) {
-        0 | 1 => leaf(rng),
-        2 => Ast::Concat(vec![
-            rand_boolean_ast(rng, depth - 1),
-            rand_boolean_ast(rng, depth - 1),
-        ]),
-        3 => Ast::Alt(vec![
-            rand_boolean_ast(rng, depth - 1),
-            rand_boolean_ast(rng, depth - 1),
-        ]),
-        4 => Ast::Star(Box::new(rand_boolean_ast(rng, depth - 1))),
-        _ => Ast::Opt(Box::new(rand_boolean_ast(rng, depth - 1))),
-    }
-}
-
-/// A random *functional* spanner AST: a top-level concatenation with one
-/// or two variables at fixed slots (each path binds every variable
-/// exactly once) and random boolean contexts around them.
-fn rand_spanner_vsa(seed: u64) -> Vsa {
-    let mut rng = Mix(seed);
-    let two_vars = rng.below(2) == 0;
-    let mut parts = vec![
-        rand_boolean_ast(&mut rng, 2),
-        Ast::Var("x".into(), Box::new(rand_boolean_ast(&mut rng, 2))),
-        rand_boolean_ast(&mut rng, 2),
-    ];
-    if two_vars {
-        parts.push(Ast::Var(
-            "y".into(),
-            Box::new(rand_boolean_ast(&mut rng, 2)),
-        ));
-        parts.push(rand_boolean_ast(&mut rng, 2));
-    }
-    Rgx::from_ast(Ast::Concat(parts))
-        .expect("generated variables are well-formed")
-        .to_vsa()
-        .expect("generated AST is functional by construction")
 }
 
 proptest! {
@@ -202,83 +121,6 @@ proptest! {
             let u = a.union(&b).unwrap();
             prop_assert_eq!(eval(&u, &doc), eval(&a, &doc).union(&eval(&b, &doc)));
         }
-    }
-
-    #[test]
-    fn dense_engine_agrees_on_random_spanners(seed in 0u64..u64::MAX, doc in doc_strategy()) {
-        let vsa = rand_spanner_vsa(seed);
-        let f = if vsa.is_functional() { vsa.clone() } else { vsa.functionalize() };
-        let evsa = Arc::new(EVsa::from_functional(&f));
-        let nfa_rel = eval_evsa(&evsa, &doc);
-        // Dense engine with a production-sized cache.
-        let dense = DenseEvsa::compile(evsa.clone(), DenseConfig::default());
-        prop_assert_eq!(dense.eval(&doc), nfa_rel.clone());
-        prop_assert_eq!(dense.accepts(&doc), !nfa_rel.is_empty());
-        // Dense engine with a starved cache: every scan takes the
-        // overflow fallback path; results must be identical.
-        let tiny = DenseEvsa::compile(evsa.clone(), DenseConfig { max_cache_states: 1, ..DenseConfig::default() });
-        prop_assert_eq!(tiny.eval(&doc), nfa_rel.clone());
-        prop_assert_eq!(tiny.accepts(&doc), !nfa_rel.is_empty());
-        // Independent oracle (exponential; keep it to every 8th case).
-        if seed % 8 == 0 {
-            prop_assert_eq!(nfa_rel, reference_eval(&vsa, &doc));
-        }
-    }
-
-    #[test]
-    fn prefilter_engine_agrees_on_random_spanners(
-        seed in 0u64..u64::MAX,
-        dense_doc in doc_strategy(),
-        sparse_doc in sparse_doc_strategy(),
-    ) {
-        // Prefiltered engine (gate + skip-loop) == dense == nfa on
-        // random spanners over both match-dense and match-sparse
-        // documents; trivial analyses must fall back transparently.
-        let vsa = rand_spanner_vsa(seed);
-        let f = if vsa.is_functional() { vsa.clone() } else { vsa.functionalize() };
-        let evsa = Arc::new(EVsa::from_functional(&f));
-        let pre = PrefilteredEvsa::compile(evsa.clone(), DenseConfig::default());
-        let dense = DenseEvsa::compile(evsa.clone(), DenseConfig::default());
-        for doc in [&dense_doc, &sparse_doc] {
-            let nfa_rel = eval_evsa(&evsa, doc);
-            prop_assert_eq!(dense.eval(doc), nfa_rel.clone());
-            prop_assert_eq!(pre.eval(doc), nfa_rel.clone());
-            prop_assert_eq!(pre.accepts(doc), !nfa_rel.is_empty());
-        }
-    }
-
-    #[test]
-    fn prefilter_engine_agrees_on_fixed_patterns(pi in 0..PATTERNS.len(), doc in sparse_doc_strategy()) {
-        // Fixed patterns include the empty-literal-set shapes (".*x{}.*",
-        // "x{a*}y{b*}" accept the empty document) — the documented
-        // fallback path where the gate is transparent.
-        let vsa = compile(PATTERNS[pi]);
-        let f = if vsa.is_functional() { vsa.clone() } else { vsa.functionalize() };
-        let evsa = Arc::new(EVsa::from_functional(&f));
-        let pre = PrefilteredEvsa::compile(evsa.clone(), DenseConfig::default());
-        if pre.analysis().is_trivial() {
-            prop_assert!(pre.gate().is_transparent());
-        }
-        prop_assert_eq!(pre.eval(&doc), eval_evsa(&evsa, &doc));
-    }
-
-    #[test]
-    fn dense_engine_agrees_on_fixed_patterns(pi in 0..PATTERNS.len(), doc in doc_strategy()) {
-        let vsa = compile(PATTERNS[pi]);
-        let f = if vsa.is_functional() { vsa.clone() } else { vsa.functionalize() };
-        let evsa = Arc::new(EVsa::from_functional(&f));
-        let dense = DenseEvsa::compile(evsa.clone(), DenseConfig::default());
-        prop_assert_eq!(dense.eval(&doc), eval_evsa(&evsa, &doc));
-    }
-
-    #[test]
-    fn compiled_splitter_dense_path_agrees(si in 0..SPLITTER_PATTERNS.len(), doc in doc_strategy()) {
-        let s = Splitter::parse(SPLITTER_PATTERNS[si]).unwrap();
-        // Dense fast path (default compile) vs the uncompiled NFA path,
-        // plus the starved-cache fallback.
-        prop_assert_eq!(s.compile().split(&doc), s.split(&doc));
-        let starved = s.compile_with(DenseConfig { max_cache_states: 1, ..DenseConfig::default() });
-        prop_assert_eq!(starved.split(&doc), s.split(&doc));
     }
 
     #[test]

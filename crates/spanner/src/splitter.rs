@@ -93,8 +93,41 @@ impl Splitter {
         let gate = Arc::new(PrefilterAnalysis::analyze(&evsa).gate());
         CompiledSplitter {
             dense: Arc::new(DenseEvsa::compile(evsa, config)),
+            aot: None,
             gate,
             stream: OnceLock::new(),
+        }
+    }
+
+    /// [`Splitter::compile`] with automatic engine tiering: the splitter
+    /// runs on the ahead-of-time premultiplied tables
+    /// ([`crate::aot`]) when determinization fits the budget in
+    /// `config`, and degrades to the lazy dense engine otherwise
+    /// (splits are byte-identical either way; see
+    /// [`CompiledSplitter::is_aot`]).
+    pub fn compile_tiered(&self, config: crate::aot::AotConfig) -> CompiledSplitter {
+        let f = if self.vsa.is_functional() {
+            self.vsa.trim()
+        } else {
+            self.vsa.functionalize()
+        };
+        let evsa = Arc::new(EVsa::from_functional(&f));
+        let gate = Arc::new(PrefilterAnalysis::analyze(&evsa).gate());
+        match crate::aot::AotEvsa::compile(evsa.clone(), config) {
+            Some(aot) => CompiledSplitter {
+                // The AOT compilation embeds a dense compilation; share
+                // it rather than compiling the tables twice.
+                dense: aot.dense().clone(),
+                aot: Some(Arc::new(aot)),
+                gate,
+                stream: OnceLock::new(),
+            },
+            None => CompiledSplitter {
+                dense: Arc::new(DenseEvsa::compile(evsa, config.dense)),
+                aot: None,
+                gate,
+                stream: OnceLock::new(),
+            },
         }
     }
 
@@ -270,6 +303,10 @@ pub fn two_run_report(e1: &EVsa, e2: &EVsa) -> TwoRunReport {
 #[derive(Debug, Clone)]
 pub struct CompiledSplitter {
     dense: Arc<DenseEvsa>,
+    /// Ahead-of-time tier (premultiplied tables), present when compiled
+    /// via [`Splitter::compile_tiered`] and determinization fit the
+    /// budget; `split` prefers it over the lazy dense path.
+    aot: Option<Arc<crate::aot::AotEvsa>>,
     /// Document gate from the splitter's prefilter analysis: documents
     /// shorter than the minimum split length (or missing a required
     /// byte) split to nothing without touching the engine.
@@ -293,17 +330,24 @@ impl CompiledSplitter {
         &self.gate
     }
 
-    /// Splits a document (prefilter gate, then the dense fast path;
-    /// exact NFA fallback when the lazy-DFA cache bound is hit).
+    /// Whether the ahead-of-time tier is active (see
+    /// [`Splitter::compile_tiered`]).
+    pub fn is_aot(&self) -> bool {
+        self.aot.is_some()
+    }
+
+    /// Splits a document (prefilter gate, then the AOT premultiplied
+    /// tables when tiered in, else the dense fast path; exact NFA
+    /// fallback when the lazy-DFA cache bound is hit).
     pub fn split(&self, doc: &[u8]) -> Vec<Span> {
         if self.gate.rejects(doc) {
             return Vec::new();
         }
-        self.dense
-            .eval(doc)
-            .iter()
-            .map(|t| t.get(VarId(0)))
-            .collect()
+        let rel = match &self.aot {
+            Some(aot) => aot.eval(doc),
+            None => self.dense.eval(doc),
+        };
+        rel.iter().map(|t| t.get(VarId(0))).collect()
     }
 
     /// Starts an incremental split of one document stream: feed bytes
@@ -728,6 +772,32 @@ mod tests {
             );
         }
         assert!(s.is_disjoint());
+    }
+
+    #[test]
+    fn tiered_compile_splits_identically() {
+        use crate::aot::AotConfig;
+        for s in [sentences(), lines(), paragraphs()] {
+            let dense = s.compile();
+            let tiered = s.compile_tiered(AotConfig::default());
+            for doc in [
+                b"Hello world. How are you. Fine".as_slice(),
+                b"a b\nc\n\nd\n",
+                b"",
+                b"...",
+            ] {
+                assert_eq!(tiered.split(doc), dense.split(doc));
+            }
+        }
+        // A starved budget degrades to dense, with identical splits.
+        let s = sentences();
+        let starved = s.compile_tiered(AotConfig {
+            max_states: 1,
+            ..AotConfig::default()
+        });
+        assert!(!starved.is_aot());
+        let doc = b"Hello world. Fine";
+        assert_eq!(starved.split(doc), s.compile().split(doc));
     }
 
     #[test]

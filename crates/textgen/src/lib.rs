@@ -13,11 +13,15 @@
 //!
 //! * [`corpus`] — seeded, size-parameterized document and collection
 //!   generators.
+//! * [`spangen`] — seeded random spanners, splitter/fleet pools and
+//!   adversarial documents: the shared generator behind the
+//!   repository-wide engine-matrix differential test harness.
 //! * [`spanners`] — the workload extractors: N-gram enumeration,
 //!   financial-transaction events, negative-sentiment targets, person
 //!   names, HTTP request lines.
 
 pub mod corpus;
+pub mod spangen;
 pub mod spanners;
 
 pub use corpus::{

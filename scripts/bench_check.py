@@ -2,39 +2,51 @@
 """Sanity-checks a BENCH JSON-lines file produced by bench_smoke.sh.
 
 Verifies the stable row schema (including the `scale` problem-size
-field), that the dense engine beats the NFA engine by the required
-factor on at least one e-series benchmark, that — when e5 rows are
-present — streaming corpus execution (`e5_corpus_stream/stream`) is not
-slower than the materialize-then-split baseline
-(`e5_corpus_stream/batch`) beyond the allowed ratio, that — when
-t3_certification_scaling rows are present — the antichain certification
-engine beats the determinize-first reference by the required factor at
-the largest needle `scale` point (the family whose determinization
-grows as 2^k; small points are overhead-dominated by design, the gate
-is the asymptotic one), that — when e6 rows are present — the
-prefiltered engine beats the dense engine by the required factor on the
-sparse collection workload, that — when e7 rows are present — the
-fused fleet engine beats sequential per-spanner evaluation by the
-required factor at the 50-member sparse point (`e7_fleet/sparse`,
-`scale` 50 — the catalog size where one shared scan pass amortizes
-across enough members to matter, judged on the match-sparse flavor
-where pruning is the point), and that — when e8 rows are present — the
-server's warm (cached) registration+certification pass beats the cold
-pass by the required factor at the largest fleet size
-(`e8_server/registration`, engines `cold`/`warm`) and the concurrent
-`/extract` burst sustains the required requests/second floor
-(`e8_server/throughput`, `scale` = request count).
+field) and applies named performance gates:
+
+  dense        nfa/dense wall ratio on the best e-series bench (always
+               applied; defaults to 1.5x when no gate is given)
+  stream       batch/stream ratio on `e5_corpus_stream` (per engine)
+  cert         determinize/antichain ratio on the
+               `t3_certification_scaling/needle` family, judged at the
+               largest `scale` point (the family whose determinization
+               grows as 2^k; small points are overhead-dominated by
+               design, the gate is the asymptotic one)
+  prefilter    dense/prefilter ratio on `e6_sparse_prefilter`
+  fleet        sequential/fused ratio on `e7_fleet/sparse`, judged at
+               the `scale` 50 point by default (override with the gate's
+               scale component)
+  server-cert  cold/warm ratio on `e8_server/registration`, judged at
+               the largest fleet `scale`
+  throughput   requests/second floor on `e8_server/throughput`
+               (`scale` carries the request count of the burst)
+  aot          dense/aot wall ratio on the `e9_aot/*` workload replays,
+               judged at the largest `scale` point per workload; the
+               gate holds when at least two workloads meet the ratio
+               (the AOT tier must beat lazy dense on at least two of
+               the e1-e4 hot loops, not on every shape)
 
 Scaling gates key on each row's `scale` field, not on bench-name
 suffixes or row positions.
 
+Usage (named gates):
+    scripts/bench_check.py BENCH_pr.json --gate dense:1.2 \
+        --gate fleet:1.5:50 --gate aot:1.2
+
+Each gate is `name:ratio` or `name:ratio:scale`; `--gate=...` also
+works. The scale component pins the judged `scale` point where the gate
+supports one (fleet; cert/server-cert/aot otherwise judge the largest
+point present).
+
+Back-compat: the historical positional form is still accepted and maps
+onto named gates in the legacy order:
+
+    scripts/bench_check.py BENCH_pr.json [dense] [stream] [cert] \
+        [prefilter] [fleet] [server-cert] [throughput]
+
 Importable: `run(argv)` takes a full argv (program name included) and
 returns the process exit code; `scripts/test_bench_check.py` drives it
 directly.
-
-Usage: scripts/bench_check.py BENCH_pr.json [min-speedup] \
-           [min-stream-ratio] [min-cert-speedup] [min-prefilter-speedup] \
-           [min-fleet-speedup] [min-server-cert-speedup] [min-req-per-s]
 """
 import json
 import sys
@@ -47,6 +59,14 @@ REQUIRED = {
     "wall_ms": (int, float),
     "tuples": int,
 }
+
+# Positional argument order of the pre-named-gate CLI, kept as a shim.
+LEGACY_ORDER = [
+    "dense", "stream", "cert", "prefilter", "fleet", "server-cert",
+    "throughput",
+]
+
+GATE_NAMES = set(LEGACY_ORDER) | {"aot"}
 
 
 def load_rows(path):
@@ -68,15 +88,86 @@ def load_rows(path):
     return rows, None
 
 
+def parse_args(argv):
+    """Parses argv into (path, gates, error-message-or-None) where
+    `gates` maps gate name -> (ratio, scale-or-None)."""
+    path = None
+    gates = {}
+    positionals = []
+    args = list(argv[1:])
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--gate":
+            if i + 1 >= len(args):
+                return None, None, "--gate needs a name:ratio[:scale] value"
+            spec = args[i + 1]
+            i += 2
+        elif arg.startswith("--gate="):
+            spec = arg[len("--gate="):]
+            i += 1
+        elif arg.startswith("--"):
+            return None, None, f"unknown flag {arg!r}"
+        else:
+            if path is None:
+                path = arg
+            else:
+                positionals.append(arg)
+            i += 1
+            continue
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            return None, None, (
+                f"malformed gate {spec!r} (expected name:ratio[:scale])")
+        name = parts[0]
+        if name not in GATE_NAMES:
+            names = ", ".join(sorted(GATE_NAMES))
+            return None, None, f"unknown gate {name!r} (expected one of {names})"
+        try:
+            ratio = float(parts[1])
+            scale = float(parts[2]) if len(parts) == 3 else None
+        except ValueError:
+            return None, None, f"non-numeric ratio/scale in gate {spec!r}"
+        gates[name] = (ratio, scale)
+    if path is None:
+        path = "BENCH_pr.json"
+    if positionals and gates:
+        return None, None, "mix of positional gates and --gate flags"
+    if positionals:
+        if len(positionals) > len(LEGACY_ORDER):
+            return None, None, (
+                f"too many positional gates ({len(positionals)}; "
+                f"at most {len(LEGACY_ORDER)})")
+        for name, value in zip(LEGACY_ORDER, positionals):
+            try:
+                gates[name] = (float(value), None)
+            except ValueError:
+                return None, None, f"non-numeric positional gate {value!r}"
+    return path, gates, None
+
+
+def gate_ratio(gates, name, default=0.0):
+    return gates[name][0] if name in gates else default
+
+
+def gate_scale(gates, name):
+    return gates[name][1] if name in gates else None
+
+
 def run(argv) -> int:
-    path = argv[1] if len(argv) > 1 else "BENCH_pr.json"
-    min_speedup = float(argv[2]) if len(argv) > 2 else 1.5
-    min_stream_ratio = float(argv[3]) if len(argv) > 3 else 0.0
-    min_cert_speedup = float(argv[4]) if len(argv) > 4 else 0.0
-    min_prefilter_speedup = float(argv[5]) if len(argv) > 5 else 0.0
-    min_fleet_speedup = float(argv[6]) if len(argv) > 6 else 0.0
-    min_server_cert_speedup = float(argv[7]) if len(argv) > 7 else 0.0
-    min_req_per_s = float(argv[8]) if len(argv) > 8 else 0.0
+    path, gates, err = parse_args(argv)
+    if err:
+        print(err)
+        return 2
+
+    min_speedup = gate_ratio(gates, "dense", 1.5)
+    min_stream_ratio = gate_ratio(gates, "stream")
+    min_cert_speedup = gate_ratio(gates, "cert")
+    min_prefilter_speedup = gate_ratio(gates, "prefilter")
+    min_fleet_speedup = gate_ratio(gates, "fleet")
+    min_server_cert_speedup = gate_ratio(gates, "server-cert")
+    min_req_per_s = gate_ratio(gates, "throughput")
+    min_aot_speedup = gate_ratio(gates, "aot")
 
     rows, err = load_rows(path)
     if err:
@@ -158,26 +249,29 @@ def run(argv) -> int:
         return 1
 
     # Fused fleet vs sequential per-spanner passes, judged at the
-    # 50-member sparse point (the gated catalog size; other sizes and
-    # the dense flavor are reported, not gated).
+    # 50-member sparse point by default (the gated catalog size; other
+    # sizes and the dense flavor are reported, not gated).
+    fleet_scale = gate_scale(gates, "fleet")
+    fleet_scale = 50 if fleet_scale is None else fleet_scale
     fleet = {}
     for row in rows:
         if row["bench"] == "e7_fleet/sparse":
             fleet.setdefault(row["scale"], {})[row["engine"]] = row["wall_ms"]
     gated = {k: e for k, e in fleet.items()
              if "fused" in e and "sequential" in e}
-    if 50 in gated:
-        seq = gated[50]["sequential"]
-        fused = gated[50]["fused"]
+    if fleet_scale in gated:
+        seq = gated[fleet_scale]["sequential"]
+        fused = gated[fleet_scale]["fused"]
         speedup = seq / max(fused, 1e-9)
-        print(f"e7_fleet/sparse (scale=50): sequential {seq:.2f} ms, "
+        print(f"e7_fleet/sparse (scale={fleet_scale:g}): sequential {seq:.2f} ms, "
               f"fused {fused:.2f} ms -> {speedup:.2f}x")
         if speedup < min_fleet_speedup:
-            print(f"fused fleet speedup {speedup:.2f}x at 50 members is "
+            print(f"fused fleet speedup {speedup:.2f}x at {fleet_scale:g} members is "
                   f"below the required {min_fleet_speedup:.2f}x")
             return 1
     elif min_fleet_speedup > 0.0:
-        print("fleet gate requested but no e7_fleet/sparse rows at scale 50")
+        print(f"fleet gate requested but no e7_fleet/sparse rows at "
+              f"scale {fleet_scale:g}")
         return 1
 
     # Server certification cache: warm (cached) registration+certify
@@ -219,6 +313,39 @@ def run(argv) -> int:
     elif min_req_per_s > 0.0:
         print("server throughput gate requested but no e8_server/throughput rows")
         return 1
+
+    # AOT tier vs lazy dense on the e9 workload replays, judged at the
+    # largest `scale` point per workload (or the pinned one); the AOT
+    # tier must win on at least two workloads, not on every shape.
+    aot_scale = gate_scale(gates, "aot")
+    e9 = {}
+    for row in rows:
+        if row["bench"].startswith("e9_aot/"):
+            e9.setdefault(row["bench"], {}).setdefault(
+                row["scale"], {})[row["engine"]] = row["wall_ms"]
+    winners = 0
+    pairs = 0
+    for bench, by_scale in sorted(e9.items()):
+        ks = [k for k, e in by_scale.items() if "aot" in e and "dense" in e]
+        if not ks:
+            continue
+        k = aot_scale if aot_scale is not None and aot_scale in ks else max(ks)
+        dense_ms = by_scale[k]["dense"]
+        aot_ms = by_scale[k]["aot"]
+        speedup = dense_ms / max(aot_ms, 1e-9)
+        print(f"{bench} (scale={k:g}): dense {dense_ms:.2f} ms, "
+              f"aot {aot_ms:.2f} ms -> {speedup:.2f}x")
+        pairs += 1
+        if speedup >= min_aot_speedup:
+            winners += 1
+    if min_aot_speedup > 0.0:
+        if pairs == 0:
+            print("aot gate requested but no e9_aot rows with both engines")
+            return 1
+        if winners < 2:
+            print(f"aot tier meets {min_aot_speedup:.2f}x on {winners} "
+                  f"workload(s); at least 2 required")
+            return 1
 
     print(f"OK: {len(rows)} rows; best dense speedup {best:.2f}x on {best_bench}")
     return 0

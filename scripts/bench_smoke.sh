@@ -50,6 +50,10 @@ run e7_fleet prefilter
 # Boots an in-process splitc-server; emits cold/warm registration rows
 # plus /extract burst + throughput rows for the selected engine.
 run e8_server dense
+# Replays the e1-e4 workloads under both the AOT tier and lazy dense,
+# emitting paired rows itself; the --engine flag is
+# accepted-and-ignored for uniformity.
+run e9_aot dense
 run t2_splitcorrect_scaling dense
 # Emits both certification engines (antichain + determinize) itself;
 # the --engine flag is accepted-and-ignored for uniformity.

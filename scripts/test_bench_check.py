@@ -28,17 +28,27 @@ BASE = [row("e1_ngram_speedup", "nfa", 100.0), row("e1_ngram_speedup", "dense", 
 
 
 class BenchCheckCase(unittest.TestCase):
-    def check(self, rows, *gates):
+    def run_with(self, rows, extra_argv):
         """Writes `rows` to a temp file and returns run()'s exit code."""
         with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
             for r in rows:
                 f.write(json.dumps(r) + "\n")
             path = f.name
         try:
-            argv = ["bench_check.py", path] + [str(g) for g in gates]
-            return bench_check.run(argv)
+            return bench_check.run(["bench_check.py", path] + extra_argv)
         finally:
             os.unlink(path)
+
+    def check(self, rows, *gates):
+        """Legacy positional form (the back-compat shim under test)."""
+        return self.run_with(rows, [str(g) for g in gates])
+
+    def check_named(self, rows, *specs):
+        """Named form: each spec is a `name:ratio[:scale]` string."""
+        argv = []
+        for spec in specs:
+            argv += ["--gate", spec]
+        return self.run_with(rows, argv)
 
 
 class SchemaTests(BenchCheckCase):
@@ -170,6 +180,89 @@ class ThroughputGate(BenchCheckCase):
 
     def test_absent_rows_are_not_gated_when_unrequested(self):
         self.assertEqual(self.check(BASE, 1.5), 0)
+
+
+class NamedGateParser(BenchCheckCase):
+    def test_named_equals_positional(self):
+        rows = BASE + [row("e6_sparse_prefilter", "dense", 200.0),
+                       row("e6_sparse_prefilter", "prefilter", 100.0)]
+        self.assertEqual(self.check(rows, 1.5, 0, 0, 2.0),
+                         self.check_named(rows, "dense:1.5", "prefilter:2.0"))
+        self.assertEqual(self.check(rows, 1.5, 0, 0, 2.1),
+                         self.check_named(rows, "dense:1.5", "prefilter:2.1"))
+
+    def test_gate_equals_form(self):
+        self.assertEqual(self.run_with(BASE, ["--gate=dense:2.0"]), 0)
+        self.assertEqual(self.run_with(BASE, ["--gate=dense:2.1"]), 1)
+
+    def test_unnamed_gates_keep_defaults(self):
+        # BASE is 2.0x, above the 1.5x default dense gate; naming only
+        # an unrelated gate must not disturb that default.
+        stream = BASE + [row("e5_corpus_stream/batch", "dense", 90.0),
+                         row("e5_corpus_stream/stream", "dense", 100.0)]
+        self.assertEqual(self.check_named(stream, "stream:0.9"), 0)
+        self.assertEqual(self.check_named(stream, "stream:0.95"), 1)
+
+    def test_unknown_gate_name_is_usage_error(self):
+        self.assertEqual(self.check_named(BASE, "warp:1.5"), 2)
+
+    def test_malformed_gate_is_usage_error(self):
+        self.assertEqual(self.check_named(BASE, "dense"), 2)
+        self.assertEqual(self.check_named(BASE, "dense:fast"), 2)
+        self.assertEqual(self.check_named(BASE, "dense:1:2:3"), 2)
+
+    def test_mixing_positional_and_named_is_usage_error(self):
+        self.assertEqual(self.run_with(BASE, ["1.5", "--gate", "aot:1.2"]), 2)
+
+    def test_fleet_scale_component(self):
+        rows = BASE + [row("e7_fleet/sparse", "sequential", 150.0, scale=10),
+                       row("e7_fleet/sparse", "fused", 100.0, scale=10)]
+        # Default fleet gate point is scale 50 — absent here — but the
+        # scale component repoints it at the rows that do exist.
+        self.assertEqual(self.check_named(rows, "fleet:1.2"), 1)
+        self.assertEqual(self.check_named(rows, "fleet:1.2:10"), 0)
+        self.assertEqual(self.check_named(rows, "fleet:1.6:10"), 1)
+
+
+class AotGate(BenchCheckCase):
+    def pair(self, workload, dense, aot, scale=1):
+        return [row(f"e9_aot/{workload}", "dense", dense, scale=scale),
+                row(f"e9_aot/{workload}", "aot", aot, scale=scale)]
+
+    def test_two_of_four_workloads_suffice(self):
+        rows = (BASE + self.pair("e1", 150.0, 100.0) + self.pair("e2", 200.0, 100.0)
+                + self.pair("e3", 100.0, 100.0) + self.pair("e4", 90.0, 100.0))
+        # e1 is 1.5x and e2 is 2.0x: two winners at 1.5x, one at 1.6x.
+        self.assertEqual(self.check_named(rows, "aot:1.5"), 0)
+        self.assertEqual(self.check_named(rows, "aot:1.6"), 1)
+
+    def test_one_winner_is_not_enough(self):
+        rows = BASE + self.pair("e1", 300.0, 100.0) + self.pair("e2", 100.0, 100.0)
+        self.assertEqual(self.check_named(rows, "aot:2.0"), 1)
+
+    def test_judged_at_largest_scale(self):
+        # Each workload wins only at its largest scale point.
+        rows = (BASE
+                + self.pair("e1", 100.0, 100.0, scale=1)
+                + self.pair("e1", 200.0, 100.0, scale=8)
+                + self.pair("e2", 100.0, 100.0, scale=1)
+                + self.pair("e2", 180.0, 100.0, scale=8))
+        self.assertEqual(self.check_named(rows, "aot:1.5"), 0)
+
+    def test_scale_component_pins_the_point(self):
+        rows = (BASE
+                + self.pair("e1", 200.0, 100.0, scale=1)
+                + self.pair("e1", 100.0, 100.0, scale=8)
+                + self.pair("e2", 180.0, 100.0, scale=1)
+                + self.pair("e2", 100.0, 100.0, scale=8))
+        self.assertEqual(self.check_named(rows, "aot:1.5"), 1)
+        self.assertEqual(self.check_named(rows, "aot:1.5:1"), 0)
+
+    def test_requested_but_missing_fails(self):
+        self.assertEqual(self.check_named(BASE, "aot:1.2"), 1)
+
+    def test_absent_rows_are_not_gated_when_unrequested(self):
+        self.assertEqual(self.check_named(BASE, "dense:1.5"), 0)
 
 
 if __name__ == "__main__":
