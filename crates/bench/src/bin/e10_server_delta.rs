@@ -1,0 +1,213 @@
+//! E10 — serving incremental maintenance: corpus resources vs
+//! re-streaming the corpus per request.
+//!
+//! The server's corpus resources (`PUT /corpus/{id}` + `POST
+//! /corpus/{id}/delta`) exist so that millions of re-queries over a
+//! slightly-changing corpus hit the process-wide segment cache instead
+//! of shipping and re-extracting every byte per request. This
+//! benchmark boots an in-process [`splitc_server::Server`] and drives
+//! a Wikipedia-model edit loop (`splitc_textgen::edits`) both ways
+//! over real HTTP:
+//!
+//! * `e10_server_delta/delta` — `POST .../delta` followed by `POST
+//!   /extract {"corpus": id}`: the server resplits only the dirty
+//!   window and re-evaluates only fresh segments (everything else is a
+//!   segment-cache hit). `scale` = segments maintained; the row's wall
+//!   time is the average per edit across the script.
+//! * `e10_server_delta/rescan` — the certificate-less protocol: the
+//!   client ships the whole edited corpus as inline `"docs"` and the
+//!   server re-extracts it from scratch. Same edits, same final
+//!   relations (asserted byte-identical per edit).
+//!
+//! The `--engine` flag selects the registered spanner's engine.
+
+use splitc_bench::{bench_json, engine_arg, ms, scaled, time, x, Table};
+use splitc_server::{Client, Json, Server, ServerConfig};
+use splitc_textgen::edits::{edit_script, Edit};
+use splitc_textgen::{wiki_corpus, CorpusConfig};
+use std::time::Duration;
+
+/// Independently-editable shards, matching the t8 corpus shape.
+const SHARDS: usize = 8;
+/// Edits per measured script.
+const EDITS: usize = 10;
+
+/// A sentence-local entity-run extractor the certification cache
+/// accepts against the sentences splitter.
+const PATTERN: &str = ".*x{ab+}.*";
+
+fn post(client: &mut Client, path: &str, body: Json) -> Json {
+    let (status, resp) = client.post(path, &body).expect("request");
+    assert_eq!(status, 200, "POST {path}: {resp}");
+    resp
+}
+
+fn id_of(resp: &Json) -> String {
+    resp.get("id")
+        .and_then(Json::as_str)
+        .expect("id field")
+        .to_string()
+}
+
+fn relations_of(resp: &Json) -> String {
+    resp.get("relations").expect("relations field").to_string()
+}
+
+fn segments_of(resp: &Json) -> f64 {
+    resp.get("stats")
+        .and_then(|s| s.get("segments"))
+        .and_then(Json::as_u64)
+        .expect("stats.segments") as f64
+}
+
+fn docs_json(shards: &[Vec<u8>]) -> Json {
+    Json::Arr(
+        shards
+            .iter()
+            .map(|s| Json::str(std::str::from_utf8(s).expect("ascii corpus")))
+            .collect(),
+    )
+}
+
+fn main() {
+    let engine = engine_arg();
+    let bytes = scaled(2 << 20);
+    let per_shard = (bytes / SHARDS).max(1024);
+    let mut shards: Vec<Vec<u8>> = (0..SHARDS)
+        .map(|i| {
+            wiki_corpus(&CorpusConfig {
+                target_bytes: per_shard,
+                seed: 0xE10 + i as u64,
+                ..CorpusConfig::default()
+            })
+        })
+        .collect();
+    let lens: Vec<usize> = shards.iter().map(Vec::len).collect();
+
+    let server = Server::spawn(ServerConfig {
+        port: 0,
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let mut client = Client::new(server.addr());
+
+    let splitter = id_of(&post(
+        &mut client,
+        "/splitters",
+        Json::obj(vec![("builtin", Json::str("sentences"))]),
+    ));
+    let spanner = id_of(&post(
+        &mut client,
+        "/spanners",
+        Json::obj(vec![
+            ("pattern", Json::str(PATTERN)),
+            ("engine", Json::str(engine.name())),
+        ]),
+    ));
+
+    let (status, resp) = client
+        .put(
+            "/corpus/bench",
+            &Json::obj(vec![
+                ("splitter", Json::str(&splitter)),
+                ("shards", docs_json(&shards)),
+            ]),
+        )
+        .expect("put corpus");
+    assert_eq!(status, 200, "PUT /corpus/bench: {resp}");
+
+    let by_corpus = Json::obj(vec![
+        ("spanner", Json::str(&spanner)),
+        ("corpus", Json::str("bench")),
+    ]);
+    // Cold pass: certifies the pair and populates the segment cache.
+    let (cold_resp, cold) = time(|| post(&mut client, "/extract", by_corpus.clone()));
+    let segments = segments_of(&cold_resp);
+
+    let script = edit_script(0x5E10, &lens, EDITS);
+    let mut delta_total = Duration::ZERO;
+    let mut rescan_total = Duration::ZERO;
+    for e in &script {
+        e.apply(&mut shards);
+        let delta_body = match e {
+            Edit::Point {
+                shard,
+                start,
+                end,
+                text,
+            } => Json::obj(vec![
+                ("op", Json::str("edit")),
+                ("shard", Json::num(*shard as u32)),
+                ("start", Json::num(*start as u32)),
+                ("end", Json::num(*end as u32)),
+                ("text", Json::str(std::str::from_utf8(text).expect("ascii"))),
+            ]),
+            Edit::Append { shard, text } => Json::obj(vec![
+                ("op", Json::str("append")),
+                ("shard", Json::num(*shard as u32)),
+                ("text", Json::str(std::str::from_utf8(text).expect("ascii"))),
+            ]),
+            Edit::ReplaceShard { shard, text } => Json::obj(vec![
+                ("op", Json::str("replace_shard")),
+                ("shard", Json::num(*shard as u32)),
+                ("text", Json::str(std::str::from_utf8(text).expect("ascii"))),
+            ]),
+        };
+        let (via_delta, t_delta) = time(|| {
+            post(&mut client, "/corpus/bench/delta", delta_body);
+            post(&mut client, "/extract", by_corpus.clone())
+        });
+        delta_total += t_delta;
+
+        let rescan_body = Json::obj(vec![
+            ("spanner", Json::str(&spanner)),
+            ("splitter", Json::str(&splitter)),
+            ("docs", docs_json(&shards)),
+        ]);
+        let (via_docs, t_rescan) = time(|| post(&mut client, "/extract", rescan_body));
+        rescan_total += t_rescan;
+        assert_eq!(
+            relations_of(&via_delta),
+            relations_of(&via_docs),
+            "delta-maintained extraction equals shipping the edited corpus"
+        );
+    }
+    let delta_avg = delta_total / EDITS as u32;
+    let rescan_avg = rescan_total / EDITS as u32;
+
+    let total: usize = shards.iter().map(Vec::len).sum();
+    let mut t = Table::new(
+        &format!(
+            "E10 — corpus deltas vs per-request rescan, {:.1} MiB / {segments:.0} segments ({})",
+            total as f64 / (1 << 20) as f64,
+            engine.name()
+        ),
+        &["metric", "value"],
+    );
+    t.row(&["cold extract (cache fill)".into(), ms(cold)]);
+    t.row(&["avg delta + extract/edit".into(), ms(delta_avg)]);
+    t.row(&["avg inline-docs rescan/edit".into(), ms(rescan_avg)]);
+    t.row(&[
+        "delta speedup".into(),
+        x(rescan_avg.as_secs_f64() / delta_avg.as_secs_f64().max(1e-12)),
+    ]);
+    t.print();
+
+    bench_json(
+        "e10_server_delta/delta",
+        engine.name(),
+        total,
+        segments,
+        delta_avg,
+        0,
+    );
+    bench_json(
+        "e10_server_delta/rescan",
+        engine.name(),
+        total,
+        segments,
+        rescan_avg,
+        0,
+    );
+}

@@ -1,84 +1,156 @@
-//! T8 — paper §1: incremental maintenance. After a minor edit only the
-//! touched segments are reprocessed. Measures full re-evaluation vs
-//! cached incremental evaluation over a sequence of random edits.
+//! T8 — paper §1: incremental maintenance under a real edit workload.
+//!
+//! A maintained corpus ([`CorpusHandle`] + shared [`SegmentCache`])
+//! absorbs a Wikipedia-model edit script (point edits, appends, shard
+//! rewrites from `splitc_textgen::edits`): each delta resplits only
+//! the dirty window of the touched shard, and re-extraction through
+//! the content-addressed cache re-evaluates only segments whose bytes
+//! actually changed. The alternative a certificate-less service is
+//! stuck with — a full from-scratch rescan of the whole corpus after
+//! every edit — is measured against it on the same final state, per
+//! engine, at two corpus scales.
+//!
+//! Rows (`scale` = total segments maintained):
+//!
+//! * `t8_incremental/incremental` — average wall time per edit for
+//!   delta + cached re-extraction.
+//! * `t8_incremental/full` — wall time of one uncached full rescan.
+//!
+//! The CI gate (`--gate incremental:ratio[:scale]` in
+//! `scripts/bench_check.py`) requires incremental ≥ ratio × faster
+//! than full at the largest scale point, for every engine present.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use splitc_bench::{bench_json, engine_arg, ms, scaled, time, x, Table};
-use splitc_exec::{ExecSpanner, IncrementalRunner, SplitFn};
-use splitc_spanner::splitter::native;
+use splitc_exec::{CompileOptions, CorpusHandle, RunnerOptions, SegmentCache};
+use splitc_spanner::splitter;
+use splitc_textgen::edits::{edit_script, Edit};
 use splitc_textgen::{spanners, wiki_corpus, CorpusConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Shards per corpus (each shard is an independently-editable
+/// document, as in the server's corpus resources).
+const SHARDS: usize = 12;
+/// Edits per measured script.
+const EDITS: usize = 12;
+
 fn main() {
-    let bytes = scaled(2 << 20);
-    let cfg = CorpusConfig {
-        target_bytes: bytes,
-        ..Default::default()
-    };
-    let mut doc = wiki_corpus(&cfg);
-    println!(
-        "T8: incremental maintenance over a {:.1} MiB corpus, 50 random edits",
-        bytes as f64 / (1 << 20) as f64
-    );
-
     let engine = engine_arg();
-    println!("engine: {}", engine.name());
-    let spanner = ExecSpanner::compile_with(&spanners::entity_extractor(), engine);
-    let runner = IncrementalRunner::new(spanner.clone(), Arc::new(native::sentences) as SplitFn);
+    println!("T8: incremental maintenance — engine {}", engine.name());
+    let compile = CompileOptions::new().engine(engine);
+    let spanner = compile.compile_spanner(&spanners::entity_extractor());
+    let compiled = compile.compile_splitter(&splitter::sentences());
 
-    // Cold pass fills the cache.
-    let (_, cold) = time(|| runner.eval(&doc));
-    let cold_stats = runner.stats();
+    for (round, base) in [(0u64, 2usize << 20), (1, 16 << 20)] {
+        let bytes = scaled(base);
+        let per_shard = (bytes / SHARDS).max(1024);
+        let docs: Vec<Vec<u8>> = (0..SHARDS)
+            .map(|i| {
+                wiki_corpus(&CorpusConfig {
+                    target_bytes: per_shard,
+                    seed: 0xED17 + round * 100 + i as u64,
+                    ..CorpusConfig::default()
+                })
+            })
+            .collect();
+        let lens: Vec<usize> = docs.iter().map(Vec::len).collect();
 
-    let mut rng = StdRng::seed_from_u64(0xED17);
-    let mut incr_total = Duration::ZERO;
-    let mut full_total = Duration::ZERO;
-    let mut recomputed = 0usize;
-    let edits = 50;
-    for _ in 0..edits {
-        let pos = rng.gen_range(0..doc.len());
-        let b = doc[pos];
-        doc[pos] = if b.is_ascii_lowercase() { b'z' } else { b };
-        let before = runner.stats().misses;
-        let (incr_rel, t_incr) = time(|| runner.eval(&doc));
-        incr_total += t_incr;
-        recomputed += runner.stats().misses - before;
-        let (full_rel, t_full) = time(|| spanner.eval(&doc));
-        full_total += t_full;
-        assert_eq!(incr_rel, full_rel, "incremental result must be exact");
+        let cache = Arc::new(SegmentCache::new(1 << 20));
+        let runner = RunnerOptions::new()
+            .segment_cache(cache.clone())
+            .corpus_runner(spanner.clone(), compiled.clone());
+        let full_runner = RunnerOptions::new().corpus_runner(spanner.clone(), compiled.clone());
+
+        let mut handle = CorpusHandle::from_shards(compiled.clone(), docs.clone());
+        let mut shadow = docs;
+
+        // Cold pass: populates the segment cache (every segment a miss).
+        let (mut last, cold) = time(|| handle.extract(&runner));
+
+        let script = edit_script(0x5EED + round, &lens, EDITS);
+        let mut incr_total = Duration::ZERO;
+        let mut resplit = 0usize;
+        let mut converged = 0usize;
+        for e in &script {
+            e.apply(&mut shadow);
+            let d = match e {
+                Edit::Point {
+                    shard,
+                    start,
+                    end,
+                    text,
+                } => handle.edit(*shard, *start..*end, text),
+                Edit::Append { shard, text } => handle.append(*shard, text),
+                Edit::ReplaceShard { shard, text } => handle.replace_shard(*shard, text.clone()),
+            };
+            resplit += d.segments_resplit;
+            converged += d.converged as usize;
+            let (res, t) = time(|| handle.extract(&runner));
+            incr_total += t;
+            last = res;
+        }
+        let incr_avg = incr_total / EDITS as u32;
+
+        // The certificate-less baseline: full rescan of the final state.
+        let refs: Vec<&[u8]> = shadow.iter().map(Vec::as_slice).collect();
+        let (full, full_wall) = time(|| full_runner.run_slices(&refs));
+        assert_eq!(
+            last.relations, full.relations,
+            "incremental extraction equals the full rescan"
+        );
+
+        let segments = handle.total_segments();
+        let total: usize = shadow.iter().map(Vec::len).sum();
+        let tuples: usize = full.relations.iter().map(|r| r.len()).sum();
+        let stats = cache.stats();
+
+        let mut t = Table::new(
+            &format!(
+                "T8 — {:.1} MiB / {segments} segments, {EDITS} edits ({})",
+                total as f64 / (1 << 20) as f64,
+                engine.name()
+            ),
+            &["metric", "value"],
+        );
+        t.row(&["cold pass".into(), ms(cold)]);
+        t.row(&[
+            "segments resplit/edit".into(),
+            format!("{:.1}", resplit as f64 / EDITS as f64),
+        ]);
+        t.row(&[
+            "dirty windows converged".into(),
+            format!("{converged}/{EDITS}"),
+        ]);
+        t.row(&["avg incremental/edit".into(), ms(incr_avg)]);
+        t.row(&["full rescan".into(), ms(full_wall)]);
+        t.row(&[
+            "incremental speedup".into(),
+            x(full_wall.as_secs_f64() / incr_avg.as_secs_f64().max(1e-12)),
+        ]);
+        t.row(&[
+            "segment cache".into(),
+            format!(
+                "{} hits / {} misses / {} evictions",
+                stats.hits, stats.misses, stats.evictions
+            ),
+        ]);
+        t.print();
+
+        bench_json(
+            "t8_incremental/incremental",
+            engine.name(),
+            total,
+            segments as f64,
+            incr_avg,
+            tuples,
+        );
+        bench_json(
+            "t8_incremental/full",
+            engine.name(),
+            total,
+            segments as f64,
+            full_wall,
+            tuples,
+        );
     }
-
-    let mut t = Table::new(
-        "T8 — incremental vs full re-evaluation",
-        &["metric", "value"],
-    );
-    t.row(&["cold pass ms".into(), ms(cold)]);
-    t.row(&[
-        "segments (cold misses)".into(),
-        cold_stats.misses.to_string(),
-    ]);
-    t.row(&["edits".into(), edits.to_string()]);
-    t.row(&[
-        "avg segments recomputed/edit".into(),
-        format!("{:.2}", recomputed as f64 / edits as f64),
-    ]);
-    t.row(&["avg incremental ms/edit".into(), ms(incr_total / edits)]);
-    t.row(&["avg full re-eval ms/edit".into(), ms(full_total / edits)]);
-    t.row(&[
-        "incremental speedup".into(),
-        x(full_total.as_secs_f64() / incr_total.as_secs_f64().max(1e-12)),
-    ]);
-    t.print();
-
-    let (rel, seq_wall) = time(|| spanner.eval(&doc));
-    bench_json(
-        "t8_incremental/full_eval",
-        engine.name(),
-        doc.len(),
-        doc.len() as f64,
-        seq_wall,
-        rel.len(),
-    );
 }

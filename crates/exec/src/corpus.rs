@@ -19,10 +19,12 @@
 
 use crate::engine::{EngineBackend, ExecSpanner};
 use crate::pool::EvalPool;
+use crate::segcache::SegmentCache;
 use crate::stream::{Segment, StreamingSplitter};
 use parking_lot::Mutex;
 use splitc_spanner::dense::{DenseCache, DenseCacheStats};
 use splitc_spanner::prefilter::PrefilterStats;
+use splitc_spanner::span::Span;
 use splitc_spanner::splitter::CompiledSplitter;
 use splitc_spanner::tuple::{SpanRelation, SpanTuple};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -83,6 +85,10 @@ impl CorpusRunnerConfig {
 pub struct CorpusStats {
     /// Documents streamed.
     pub docs: usize,
+    /// Documents whose relation was reused verbatim from a
+    /// [`crate::CorpusHandle`] extraction memo instead of being run
+    /// (always 0 outside [`crate::CorpusHandle::extract`]).
+    pub docs_reused: usize,
     /// Split segments evaluated.
     pub segments: usize,
     /// Total bytes across all evaluated segments.
@@ -112,12 +118,80 @@ pub struct CorpusResult {
     pub stats: CorpusStats,
 }
 
+/// One segment flowing through a runner queue. The streaming path
+/// moves each freshly split [`Segment`] in (the bytes were just
+/// materialized and have no other owner); the presplit re-query path
+/// shares one `Arc` of the whole document per segment instead of
+/// copying bytes — at corpus scale that removes one allocation and one
+/// memcpy per segment from the all-hits hot path.
+pub(crate) enum SegPayload {
+    /// Owned segment bytes (streaming split output).
+    Owned(Segment),
+    /// A slice `doc[span.start..span.end]` of a shared document.
+    Shared { doc: Arc<Vec<u8>>, span: Span },
+}
+
+impl SegPayload {
+    /// The segment's absolute span in its document (the shift applied
+    /// to its tuples).
+    pub(crate) fn span(&self) -> Span {
+        match self {
+            SegPayload::Owned(seg) => seg.span,
+            SegPayload::Shared { span, .. } => *span,
+        }
+    }
+
+    /// The segment bytes.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        match self {
+            SegPayload::Owned(seg) => &seg.bytes,
+            SegPayload::Shared { doc, span } => &doc[span.start..span.end],
+        }
+    }
+}
+
 /// A batch of split segments bound for one worker. Batches may span
 /// document boundaries, so collections of tiny documents still fill
 /// them.
 struct Batch {
     /// `(document index, segment)` pairs, in stream order.
-    segments: Vec<(usize, Segment)>,
+    segments: Vec<(usize, SegPayload)>,
+}
+
+/// The producer side of the pipeline, handed to the segment-producing
+/// closure of `run_pipeline`: accumulates segments into batches and
+/// dispatches them over the bounded queue (blocking when it is full —
+/// the backpressure that bounds in-flight memory). Producers mutate run
+/// statistics directly through `stats`.
+struct Feed<'a> {
+    tx: std::sync::mpsc::SyncSender<Batch>,
+    batch: Vec<(usize, SegPayload)>,
+    batch_bytes: usize,
+    target: usize,
+    stats: &'a mut CorpusStats,
+}
+
+impl Feed<'_> {
+    fn segment(&mut self, di: usize, seg: SegPayload) {
+        let len = seg.bytes().len();
+        self.stats.segments += 1;
+        self.stats.segment_bytes += len as u64;
+        self.batch_bytes += len;
+        self.batch.push((di, seg));
+        if self.batch_bytes >= self.target {
+            self.flush();
+        }
+    }
+    fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        self.stats.batches += 1;
+        self.batch_bytes = 0;
+        let _ = self.tx.send(Batch {
+            segments: std::mem::take(&mut self.batch),
+        });
+    }
 }
 
 /// Streaming sharded corpus executor. See the [module docs](self) for
@@ -134,6 +208,11 @@ pub struct CorpusRunner {
     /// (the batch-job shape); services reuse one [`EvalPool`] across
     /// requests via [`CorpusRunner::with_pool`].
     pool: Option<Arc<EvalPool>>,
+    /// Shared content-addressed per-segment result cache. `None`
+    /// evaluates every segment; services attach one process-wide cache
+    /// via [`CorpusRunner::with_segment_cache`] so re-queries over
+    /// slightly-changed corpora skip the unchanged segments.
+    segment_cache: Option<Arc<SegmentCache>>,
 }
 
 impl CorpusRunner {
@@ -151,6 +230,7 @@ impl CorpusRunner {
             splitter,
             config,
             pool: None,
+            segment_cache: None,
         }
     }
 
@@ -171,12 +251,30 @@ impl CorpusRunner {
             splitter,
             config,
             pool: Some(pool),
+            segment_cache: None,
         }
+    }
+
+    /// Attaches a shared [`SegmentCache`]: workers look each segment up
+    /// by content before dispatching the engine, so repeated segments —
+    /// across documents, runs, and (for a process-wide cache) requests —
+    /// are answered without re-evaluation. Results are byte-identical
+    /// with or without a cache (hits return exactly the relation the
+    /// engine would compute; the deterministic merge is unchanged).
+    pub fn with_segment_cache(mut self, cache: Arc<SegmentCache>) -> CorpusRunner {
+        self.segment_cache = Some(cache);
+        self
     }
 
     /// The runner's configuration.
     pub fn config(&self) -> &CorpusRunnerConfig {
         &self.config
+    }
+
+    /// Stable identity of the compiled spanner, used by
+    /// [`crate::CorpusHandle`] to key its per-shard extraction memo.
+    pub(crate) fn spanner_cache_id(&self) -> u64 {
+        self.spanner.cache_id()
     }
 
     /// Streams a corpus of chunked document sources through the
@@ -188,6 +286,71 @@ impl CorpusRunner {
         D: IntoIterator<Item = C>,
         C: IntoIterator<Item = B>,
         B: AsRef<[u8]>,
+    {
+        self.run_pipeline(|feed| {
+            for (di, doc) in docs.into_iter().enumerate() {
+                feed.stats.docs += 1;
+                let mut splitter = StreamingSplitter::new(&self.splitter);
+                for chunk in doc {
+                    for seg in splitter.push(chunk.as_ref()) {
+                        feed.segment(di, SegPayload::Owned(seg));
+                    }
+                }
+                feed.stats.peak_buffered_bytes = feed
+                    .stats
+                    .peak_buffered_bytes
+                    .max(splitter.peak_buffered_bytes());
+                feed.stats.prefilter.bytes_skipped += splitter.bytes_skipped();
+                for seg in splitter.finish() {
+                    feed.segment(di, SegPayload::Owned(seg));
+                }
+            }
+        })
+    }
+
+    /// Evaluates documents whose split is **already known**, skipping
+    /// the splitter entirely: each item is `(document bytes, split
+    /// spans)`. This is the re-query path of the incremental layer —
+    /// [`crate::handle::CorpusHandle`] maintains segmentations across
+    /// edits and re-extracts through this entry point, so an unchanged
+    /// segment costs one cache lookup instead of a resplit + dispatch.
+    ///
+    /// The spans must be the splitter's output for those bytes (the
+    /// handle guarantees this); the pipeline downstream of splitting —
+    /// batching, pooling, caching, deterministic merge — is identical to
+    /// [`CorpusRunner::run_streams`].
+    pub fn run_presplit<'a, D>(&self, docs: D) -> CorpusResult
+    where
+        D: IntoIterator<Item = (&'a [u8], &'a [Span])>,
+    {
+        self.run_pipeline(|feed| {
+            for (di, (bytes, spans)) in docs.into_iter().enumerate() {
+                feed.stats.docs += 1;
+                // One copy of the document, shared by every segment —
+                // the per-segment cost is an `Arc` clone, not a byte
+                // copy, which is what keeps the all-hits re-query path
+                // ahead of a full rescan.
+                let doc = Arc::new(bytes.to_vec());
+                for &span in spans {
+                    feed.segment(
+                        di,
+                        SegPayload::Shared {
+                            doc: doc.clone(),
+                            span,
+                        },
+                    );
+                }
+            }
+        })
+    }
+
+    /// The shared pipeline body: spins up the worker side, lets
+    /// `produce` feed segments through a [`Feed`] (which batches and
+    /// applies backpressure), then collects and deterministically merges
+    /// worker outputs.
+    fn run_pipeline<F>(&self, produce: F) -> CorpusResult
+    where
+        F: FnOnce(&mut Feed<'_>),
     {
         let config = self.config.normalized();
         let workers = config.workers;
@@ -207,14 +370,19 @@ impl CorpusRunner {
         // queue, and failure flag), so the same loop runs on a shared
         // long-lived [`EvalPool`] or on per-run spawned threads.
         let (out_tx, out_rx) = std::sync::mpsc::channel::<WorkerOutput>();
+        let seg_cache = self
+            .segment_cache
+            .clone()
+            .map(|c| (c, self.spanner.cache_id()));
         let mut handles = Vec::new();
         for _ in 0..workers {
             let backend = self.spanner.backend().clone();
             let rx = rx.clone();
             let failed = failed.clone();
             let out_tx = out_tx.clone();
+            let seg_cache = seg_cache.clone();
             let job = move || {
-                let _ = out_tx.send(worker_loop(&backend, &rx, &failed));
+                let _ = out_tx.send(worker_loop(&backend, seg_cache.as_ref(), &rx, &failed));
             };
             match &self.pool {
                 Some(pool) => pool.execute(Box::new(job)),
@@ -223,65 +391,21 @@ impl CorpusRunner {
         }
         drop(out_tx);
 
-        // Producer: split on the calling thread, dispatch batches.
-        // Accumulates segments (across document boundaries) until the
-        // batch payload target is reached, then blocks on the bounded
-        // queue — that block is the backpressure that caps in-flight
-        // memory.
-        struct Producer<'a> {
-            tx: std::sync::mpsc::SyncSender<Batch>,
-            batch: Vec<(usize, Segment)>,
-            batch_bytes: usize,
-            target: usize,
-            stats: &'a mut CorpusStats,
-        }
-        impl Producer<'_> {
-            fn segment(&mut self, di: usize, seg: Segment) {
-                self.stats.segments += 1;
-                self.stats.segment_bytes += seg.bytes.len() as u64;
-                self.batch_bytes += seg.bytes.len();
-                self.batch.push((di, seg));
-                if self.batch_bytes >= self.target {
-                    self.flush();
-                }
-            }
-            fn flush(&mut self) {
-                if self.batch.is_empty() {
-                    return;
-                }
-                self.stats.batches += 1;
-                self.batch_bytes = 0;
-                let _ = self.tx.send(Batch {
-                    segments: std::mem::take(&mut self.batch),
-                });
-            }
-        }
-        let mut producer = Producer {
+        // Producer: the `produce` closure feeds segments on the calling
+        // thread; the feed accumulates them (across document boundaries)
+        // until the batch payload target is reached, then blocks on the
+        // bounded queue — that block is the backpressure that caps
+        // in-flight memory.
+        let mut feed = Feed {
             tx,
             batch: Vec::new(),
             batch_bytes: 0,
             target: config.batch_bytes,
             stats: &mut stats,
         };
-        for (di, doc) in docs.into_iter().enumerate() {
-            producer.stats.docs += 1;
-            let mut splitter = StreamingSplitter::new(&self.splitter);
-            for chunk in doc {
-                for seg in splitter.push(chunk.as_ref()) {
-                    producer.segment(di, seg);
-                }
-            }
-            producer.stats.peak_buffered_bytes = producer
-                .stats
-                .peak_buffered_bytes
-                .max(splitter.peak_buffered_bytes());
-            producer.stats.prefilter.bytes_skipped += splitter.bytes_skipped();
-            for seg in splitter.finish() {
-                producer.segment(di, seg);
-            }
-        }
-        producer.flush();
-        drop(producer);
+        produce(&mut feed);
+        feed.flush();
+        drop(feed);
 
         // Collect exactly one report per worker. A worker that died
         // before reporting (a panic outside the catch — a bug) shows up
@@ -350,6 +474,7 @@ type WorkerOutput = (
 /// [`EvalPool`].
 fn worker_loop(
     backend: &Arc<dyn EngineBackend>,
+    seg_cache: Option<&(Arc<SegmentCache>, u64)>,
     rx: &Mutex<Receiver<Batch>>,
     failed: &AtomicBool,
 ) -> WorkerOutput {
@@ -370,8 +495,26 @@ fn worker_loop(
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut local_out: Vec<(usize, Vec<SpanTuple>)> = Vec::new();
             for (di, seg) in batch.segments {
-                let local = backend.eval_scratch(&seg.bytes, &mut cache, &mut prefilter_stats);
-                let tuples: Vec<SpanTuple> = local.iter().map(|t| t.shift(seg.span)).collect();
+                let (bytes, span) = (seg.bytes(), seg.span());
+                // Segment relations are pure functions of the bytes, so
+                // a content-addressed hit is byte-identical to the
+                // engine dispatch it replaces; hits shift straight out
+                // of the shared cached relation (no intermediate clone).
+                let tuples: Vec<SpanTuple> = match seg_cache {
+                    Some((sc, id)) => sc
+                        .get_or_eval(*id, bytes, || {
+                            backend.eval_scratch(bytes, &mut cache, &mut prefilter_stats)
+                        })
+                        .0
+                        .iter()
+                        .map(|t| t.shift(span))
+                        .collect(),
+                    None => backend
+                        .eval_scratch(bytes, &mut cache, &mut prefilter_stats)
+                        .iter()
+                        .map(|t| t.shift(span))
+                        .collect(),
+                };
                 if !tuples.is_empty() {
                     local_out.push((di, tuples));
                 }

@@ -228,34 +228,30 @@ pub struct ExecSpanner {
 
 impl ExecSpanner {
     /// Compiles a VSet-automaton once (functionalization + block normal
-    /// form) with the default [`Engine::Dense`].
+    /// form) with the default [`Engine::Dense`]. Thin wrapper over
+    /// [`crate::CompileOptions`], the general front door.
     pub fn compile(vsa: &Vsa) -> ExecSpanner {
-        Self::compile_with(vsa, Engine::default())
+        crate::CompileOptions::new().compile_spanner(vsa)
     }
 
-    /// Compiles with an explicit engine choice.
+    /// Compiles with an explicit engine choice. Thin wrapper over
+    /// [`crate::CompileOptions::engine`].
     pub fn compile_with(vsa: &Vsa, engine: Engine) -> ExecSpanner {
-        let f = if vsa.is_functional() {
-            vsa.trim()
-        } else {
-            vsa.functionalize()
-        };
-        let evsa = Arc::new(EVsa::from_functional(&f));
-        ExecSpanner::from_evsa(evsa, engine, None, DenseConfig::default())
+        crate::CompileOptions::new()
+            .engine(engine)
+            .compile_spanner(vsa)
     }
 
     /// [`ExecSpanner::compile_with`] plus an explicit dense-engine
     /// configuration (cache bound, skip-loop) applied to whichever tier
     /// actually compiles — used by the engine-matrix differential
-    /// harness to starve lazy-DFA caches under every engine.
+    /// harness to starve lazy-DFA caches under every engine. Thin
+    /// wrapper over [`crate::CompileOptions::dense`].
     pub fn compile_with_config(vsa: &Vsa, engine: Engine, config: DenseConfig) -> ExecSpanner {
-        let f = if vsa.is_functional() {
-            vsa.trim()
-        } else {
-            vsa.functionalize()
-        };
-        let evsa = Arc::new(EVsa::from_functional(&f));
-        ExecSpanner::from_evsa(evsa, engine, None, config)
+        crate::CompileOptions::new()
+            .engine(engine)
+            .dense(config)
+            .compile_spanner(vsa)
     }
 
     /// Builds the spanner for an already-compiled automaton, optionally
@@ -328,6 +324,18 @@ impl ExecSpanner {
     /// (the corpus and fleet runners).
     pub(crate) fn backend(&self) -> &Arc<dyn EngineBackend> {
         &self.backend
+    }
+
+    /// A process-unique identity for this compilation, used as the
+    /// spanner half of [`crate::segcache::SegmentCache`] keys. It is the
+    /// address of the shared eVSA allocation: clones of one compilation
+    /// share cache entries, while independent compilations (even of the
+    /// same pattern) get distinct ids — which costs at most extra cache
+    /// misses, never a wrong answer. Long-lived services that want
+    /// cross-request sharing should therefore reuse compiled spanners
+    /// (as `splitc-server`'s registry does) rather than recompile.
+    pub fn cache_id(&self) -> u64 {
+        Arc::as_ptr(&self.evsa) as u64
     }
 
     /// Evaluates on one document.

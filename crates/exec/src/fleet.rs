@@ -29,9 +29,11 @@
 //!
 //! [`DenseEvsa::compile_with_classes`]: splitc_spanner::dense::DenseEvsa::compile_with_classes
 
+use crate::corpus::SegPayload;
 use crate::engine::{Engine, ExecSpanner};
 use crate::pool::EvalPool;
-use crate::stream::{Segment, StreamingSplitter};
+use crate::segcache::SegmentCache;
+use crate::stream::StreamingSplitter;
 use parking_lot::Mutex;
 use splitc_automata::classes::{ByteClassBuilder, ByteClasses};
 use splitc_automata::scan::{ByteFinder, MultiNeedle};
@@ -74,6 +76,10 @@ struct FleetMember {
 pub struct FleetStats {
     /// Documents streamed.
     pub docs: usize,
+    /// Documents whose member relations were reused verbatim from a
+    /// [`crate::CorpusHandle`] extraction memo instead of being run
+    /// (always 0 outside [`crate::CorpusHandle::extract_fleet`]).
+    pub docs_reused: usize,
     /// Split segments produced (each is considered by every member).
     pub segments: usize,
     /// Total bytes across all segments.
@@ -317,12 +323,19 @@ impl Fleet {
     /// receives `(member, relation)` for every dispatched member (the
     /// relation may be empty — a false candidate); pruned members
     /// provably contribute empty relations and are not reported.
+    ///
+    /// With a `seg_cache`, each surviving `(segment, member)` dispatch
+    /// is first looked up by content under the member's
+    /// [`ExecSpanner::cache_id`]; a hit replaces the engine call with
+    /// the byte-identical stored relation (gates and the shared scan
+    /// still run — they are what keeps the per-member key space sparse).
     fn eval_segment(
         &self,
         bytes: &[u8],
+        seg_cache: Option<&Arc<SegmentCache>>,
         scratch: &mut FleetScratch,
         tally: &mut Tally,
-        mut sink: impl FnMut(usize, SpanRelation),
+        mut sink: impl FnMut(usize, &SpanRelation),
     ) {
         scratch.epoch += 1;
         let epoch = scratch.epoch;
@@ -372,12 +385,26 @@ impl Fleet {
             }
             tally.candidates[mi] += 1;
             tally.dispatches += 1;
-            let rel = m.spanner.backend().eval_scratch(
-                bytes,
-                &mut scratch.caches[mi],
-                &mut tally.prefilter,
-            );
-            sink(mi, rel);
+            match seg_cache {
+                Some(sc) => {
+                    let (rel, _) = sc.get_or_eval(m.spanner.cache_id(), bytes, || {
+                        m.spanner.backend().eval_scratch(
+                            bytes,
+                            &mut scratch.caches[mi],
+                            &mut tally.prefilter,
+                        )
+                    });
+                    sink(mi, &rel);
+                }
+                None => {
+                    let rel = m.spanner.backend().eval_scratch(
+                        bytes,
+                        &mut scratch.caches[mi],
+                        &mut tally.prefilter,
+                    );
+                    sink(mi, &rel);
+                }
+            }
         }
     }
 
@@ -393,7 +420,9 @@ impl Fleet {
             .pop()
             .unwrap_or_else(|| self.new_scratch());
         let mut tally = self.new_tally();
-        self.eval_segment(doc, &mut scratch, &mut tally, |mi, rel| out[mi] = rel);
+        self.eval_segment(doc, None, &mut scratch, &mut tally, |mi, rel| {
+            out[mi] = rel.clone()
+        });
         self.scratch_pool.lock().push(scratch);
         out
     }
@@ -406,7 +435,53 @@ type WorkerOutput = (Vec<(usize, usize, Vec<SpanTuple>)>, DenseCacheStats, Tally
 /// A batch of split segments bound for one fleet worker.
 struct Batch {
     /// `(document index, segment)` pairs, in stream order.
-    segments: Vec<(usize, Segment)>,
+    segments: Vec<(usize, SegPayload)>,
+}
+
+/// The producer side of the fused pipeline (the fleet analogue of the
+/// corpus runner's feed): batches segments and dispatches them over the
+/// bounded queue, blocking when it is full.
+struct FleetFeed<'a> {
+    tx: std::sync::mpsc::SyncSender<Batch>,
+    batch: Vec<(usize, SegPayload)>,
+    batch_bytes: usize,
+    target: usize,
+    stats: &'a mut FleetStats,
+}
+
+impl FleetFeed<'_> {
+    fn segment(&mut self, di: usize, seg: SegPayload) {
+        let len = seg.bytes().len();
+        self.stats.segments += 1;
+        self.stats.segment_bytes += len as u64;
+        self.batch_bytes += len;
+        self.batch.push((di, seg));
+        if self.batch_bytes >= self.target {
+            self.flush();
+        }
+    }
+    fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        self.stats.batches += 1;
+        self.batch_bytes = 0;
+        let _ = self.tx.send(Batch {
+            segments: std::mem::take(&mut self.batch),
+        });
+    }
+}
+
+/// The no-member short-circuit: documents are counted but never split,
+/// scanned, or dispatched.
+fn empty_fleet_result(docs_n: usize) -> FleetResult {
+    FleetResult {
+        relations: vec![Vec::new(); docs_n],
+        stats: FleetStats {
+            docs: docs_n,
+            ..FleetStats::default()
+        },
+    }
 }
 
 /// Streaming fused corpus executor: the fleet-wide analogue of
@@ -423,6 +498,9 @@ pub struct FleetRunner {
     /// services reuse one [`EvalPool`] across requests via
     /// [`FleetRunner::with_pool`].
     pool: Option<Arc<EvalPool>>,
+    /// Shared content-addressed segment cache, probed per surviving
+    /// `(segment, member)` dispatch (see [`Fleet::eval_segment`]).
+    segment_cache: Option<Arc<SegmentCache>>,
 }
 
 impl FleetRunner {
@@ -441,6 +519,7 @@ impl FleetRunner {
             splitter,
             config,
             pool: None,
+            segment_cache: None,
         }
     }
 
@@ -459,7 +538,18 @@ impl FleetRunner {
             splitter,
             config,
             pool: Some(pool),
+            segment_cache: None,
         }
+    }
+
+    /// Attaches a shared [`SegmentCache`]: each surviving
+    /// `(segment, member)` dispatch is answered from the cache when the
+    /// segment content was already evaluated under that member. Results
+    /// are byte-identical with or without a cache (see
+    /// [`crate::CorpusRunner::with_segment_cache`]).
+    pub fn with_segment_cache(mut self, cache: Arc<SegmentCache>) -> FleetRunner {
+        self.segment_cache = Some(cache);
+        self
     }
 
     /// The runner's configuration.
@@ -486,15 +576,66 @@ impl FleetRunner {
         B: AsRef<[u8]>,
     {
         if self.fleet.members.is_empty() {
-            let docs_n = docs.into_iter().count();
-            return FleetResult {
-                relations: vec![Vec::new(); docs_n],
-                stats: FleetStats {
-                    docs: docs_n,
-                    ..FleetStats::default()
-                },
-            };
+            return empty_fleet_result(docs.into_iter().count());
         }
+        self.run_pipeline(|feed| {
+            for (di, doc) in docs.into_iter().enumerate() {
+                feed.stats.docs += 1;
+                let mut splitter = StreamingSplitter::new(&self.splitter);
+                for chunk in doc {
+                    for seg in splitter.push(chunk.as_ref()) {
+                        feed.segment(di, SegPayload::Owned(seg));
+                    }
+                }
+                feed.stats.peak_buffered_bytes = feed
+                    .stats
+                    .peak_buffered_bytes
+                    .max(splitter.peak_buffered_bytes());
+                feed.stats.prefilter.bytes_skipped += splitter.bytes_skipped();
+                for seg in splitter.finish() {
+                    feed.segment(di, SegPayload::Owned(seg));
+                }
+            }
+        })
+    }
+
+    /// Evaluates documents whose split is already known, skipping the
+    /// splitter: each item is `(document bytes, split spans)` — the
+    /// fleet analogue of [`crate::CorpusRunner::run_presplit`], used by
+    /// the incremental layer to re-query maintained corpora.
+    pub fn run_presplit<'a, D>(&self, docs: D) -> FleetResult
+    where
+        D: IntoIterator<Item = (&'a [u8], &'a [splitc_spanner::span::Span])>,
+    {
+        if self.fleet.members.is_empty() {
+            return empty_fleet_result(docs.into_iter().count());
+        }
+        self.run_pipeline(|feed| {
+            for (di, (bytes, spans)) in docs.into_iter().enumerate() {
+                feed.stats.docs += 1;
+                // One copy of the document shared by every segment —
+                // per-segment cost is an `Arc` clone, not a byte copy.
+                let doc = Arc::new(bytes.to_vec());
+                for &span in spans {
+                    feed.segment(
+                        di,
+                        SegPayload::Shared {
+                            doc: doc.clone(),
+                            span,
+                        },
+                    );
+                }
+            }
+        })
+    }
+
+    /// The shared pipeline body (see
+    /// [`crate::CorpusRunner`]'s equivalent): worker setup, the
+    /// `produce`-driven batching feed, and deterministic collection.
+    fn run_pipeline<F>(&self, produce: F) -> FleetResult
+    where
+        F: FnOnce(&mut FleetFeed<'_>),
+    {
         let config = self.config.normalized();
         let workers = config.workers;
         let n_members = self.fleet.members.len();
@@ -521,8 +662,9 @@ impl FleetRunner {
             let rx = rx.clone();
             let failed = failed.clone();
             let out_tx = out_tx.clone();
+            let seg_cache = self.segment_cache.clone();
             let job = move || {
-                let _ = out_tx.send(fleet_worker_loop(&fleet, &rx, &failed));
+                let _ = out_tx.send(fleet_worker_loop(&fleet, seg_cache.as_ref(), &rx, &failed));
             };
             match &self.pool {
                 Some(pool) => pool.execute(Box::new(job)),
@@ -531,46 +673,16 @@ impl FleetRunner {
         }
         drop(out_tx);
 
-        let mut batch: Vec<(usize, Segment)> = Vec::new();
-        let mut batch_bytes = 0usize;
-        let target = config.batch_bytes;
-        for (di, doc) in docs.into_iter().enumerate() {
-            stats.docs += 1;
-            let mut splitter = StreamingSplitter::new(&self.splitter);
-            let handle = |seg: Segment,
-                          batch: &mut Vec<(usize, Segment)>,
-                          batch_bytes: &mut usize,
-                          stats: &mut FleetStats| {
-                stats.segments += 1;
-                stats.segment_bytes += seg.bytes.len() as u64;
-                *batch_bytes += seg.bytes.len();
-                batch.push((di, seg));
-                if *batch_bytes >= target {
-                    stats.batches += 1;
-                    *batch_bytes = 0;
-                    let _ = tx.send(Batch {
-                        segments: std::mem::take(batch),
-                    });
-                }
-            };
-            for chunk in doc {
-                for seg in splitter.push(chunk.as_ref()) {
-                    handle(seg, &mut batch, &mut batch_bytes, &mut stats);
-                }
-            }
-            stats.peak_buffered_bytes = stats
-                .peak_buffered_bytes
-                .max(splitter.peak_buffered_bytes());
-            stats.prefilter.bytes_skipped += splitter.bytes_skipped();
-            for seg in splitter.finish() {
-                handle(seg, &mut batch, &mut batch_bytes, &mut stats);
-            }
-        }
-        if !batch.is_empty() {
-            stats.batches += 1;
-            let _ = tx.send(Batch { segments: batch });
-        }
-        drop(tx);
+        let mut feed = FleetFeed {
+            tx,
+            batch: Vec::new(),
+            batch_bytes: 0,
+            target: config.batch_bytes,
+            stats: &mut stats,
+        };
+        produce(&mut feed);
+        feed.flush();
+        drop(feed);
 
         // Exactly one report per worker; a disconnect before all have
         // reported means a worker died outside the catch (a bug).
@@ -640,6 +752,7 @@ impl FleetRunner {
 /// long-lived [`EvalPool`].
 fn fleet_worker_loop(
     fleet: &Arc<Fleet>,
+    seg_cache: Option<&Arc<SegmentCache>>,
     rx: &Mutex<Receiver<Batch>>,
     failed: &AtomicBool,
 ) -> WorkerOutput {
@@ -657,10 +770,10 @@ fn fleet_worker_loop(
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut local: Vec<(usize, usize, Vec<SpanTuple>)> = Vec::new();
             for (di, seg) in &batch.segments {
-                fleet.eval_segment(&seg.bytes, &mut scratch, &mut tally, |mi, rel| {
+                let (bytes, span) = (seg.bytes(), seg.span());
+                fleet.eval_segment(bytes, seg_cache, &mut scratch, &mut tally, |mi, rel| {
                     if !rel.is_empty() {
-                        let tuples: Vec<SpanTuple> =
-                            rel.iter().map(|t| t.shift(seg.span)).collect();
+                        let tuples: Vec<SpanTuple> = rel.iter().map(|t| t.shift(span)).collect();
                         local.push((*di, mi, tuples));
                     }
                 });

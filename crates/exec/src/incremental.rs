@@ -6,13 +6,23 @@
 //! `P = P_S ∘ S`, evaluation factors through segments; caching the
 //! per-segment relations by segment **content** makes re-evaluation of
 //! an edited document cost only the changed segments.
+//!
+//! The cache behind this runner is the shared, *bounded*
+//! [`SegmentCache`] (it used to be a private unbounded map): capacity
+//! is enforced by FIFO eviction, which affects speed only — an evicted
+//! segment is recomputed on its next miss, and results are always
+//! byte-identical (asserted by the eviction regression test below and
+//! the capacity-2 differential proptests). For corpus-scale maintained
+//! documents see [`crate::handle::CorpusHandle`], which adds
+//! incremental *resplitting* on top of the same cache.
 
 use crate::engine::{ExecSpanner, SplitFn};
-use parking_lot::Mutex;
+use crate::segcache::SegmentCache;
 use splitc_spanner::tuple::{SpanRelation, SpanTuple};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Default cache capacity (segments) when none is given.
+const DEFAULT_CAPACITY: usize = 1 << 16;
 
 /// Cache statistics of an [`IncrementalRunner`].
 ///
@@ -38,32 +48,50 @@ pub struct CacheStats {
 /// against the stored content bytes, so hash collisions cost a re-check,
 /// never a wrong answer).
 ///
-/// The cache is shared across documents and unbounded; call
-/// [`IncrementalRunner::clear`] between unrelated corpora, and use
-/// [`IncrementalRunner::cache_len`] / [`IncrementalRunner::stats`] to
-/// size and measure it. Evaluation is sequential per document — for
-/// corpus-scale parallel streaming see [`crate::corpus::CorpusRunner`],
-/// which trades this cache for per-worker lazy-DFA caches.
+/// The cache is shared across documents and **bounded** (see
+/// [`SegmentCache`]); eviction never changes results. Construct with a
+/// default bound via [`IncrementalRunner::new`], an explicit one via
+/// [`IncrementalRunner::with_capacity`], or share one process-wide
+/// cache via [`IncrementalRunner::with_cache`]. Evaluation is
+/// sequential per document — for corpus-scale parallel streaming see
+/// [`crate::corpus::CorpusRunner`], which plugs the same cache under a
+/// worker pool.
 pub struct IncrementalRunner {
     spanner: ExecSpanner,
     split: SplitFn,
-    cache: Mutex<HashMap<u64, CachedEntry>>,
-    stats: Mutex<CacheStats>,
-}
-
-struct CachedEntry {
-    content: Vec<u8>,
-    relation: SpanRelation,
+    cache: Arc<SegmentCache>,
 }
 
 impl IncrementalRunner {
-    /// Creates a runner for a (split-)spanner and splitter.
+    /// Creates a runner for a (split-)spanner and splitter with a
+    /// default cache bound.
     pub fn new(spanner: ExecSpanner, split: SplitFn) -> IncrementalRunner {
+        IncrementalRunner::with_capacity(spanner, split, DEFAULT_CAPACITY)
+    }
+
+    /// [`IncrementalRunner::new`] with an explicit cache capacity
+    /// (segments). A starved cache stays correct — it just recomputes
+    /// more.
+    pub fn with_capacity(
+        spanner: ExecSpanner,
+        split: SplitFn,
+        capacity: usize,
+    ) -> IncrementalRunner {
+        IncrementalRunner::with_cache(spanner, split, Arc::new(SegmentCache::new(capacity)))
+    }
+
+    /// [`IncrementalRunner::new`] over an externally shared
+    /// [`SegmentCache`] (e.g. one also attached to the corpus runners,
+    /// so both paths reuse each other's segment results).
+    pub fn with_cache(
+        spanner: ExecSpanner,
+        split: SplitFn,
+        cache: Arc<SegmentCache>,
+    ) -> IncrementalRunner {
         IncrementalRunner {
             spanner,
             split,
-            cache: Mutex::new(HashMap::new()),
-            stats: Mutex::new(CacheStats::default()),
+            cache,
         }
     }
 
@@ -73,58 +101,46 @@ impl IncrementalRunner {
     /// union is returned. Equals whole-document evaluation of `P`
     /// whenever `P = P_S ∘ S` is certified.
     pub fn eval(&self, doc: &[u8]) -> SpanRelation {
+        let id = self.spanner.cache_id();
         let chunks = (self.split)(doc);
         let mut tuples: Vec<SpanTuple> = Vec::new();
         for sp in chunks {
             let content = sp.slice(doc);
-            let key = hash_bytes(content);
-            let cache = self.cache.lock();
-            let local = match cache.get(&key) {
-                Some(entry) if entry.content == content => {
-                    self.stats.lock().hits += 1;
-                    entry.relation.clone()
-                }
-                _ => {
-                    drop(cache);
-                    let rel = self.spanner.eval(content);
-                    self.stats.lock().misses += 1;
-                    let mut cache = self.cache.lock();
-                    cache.insert(
-                        key,
-                        CachedEntry {
-                            content: content.to_vec(),
-                            relation: rel.clone(),
-                        },
-                    );
-                    rel
-                }
-            };
+            let (local, _hit) = self
+                .cache
+                .get_or_eval(id, content, || self.spanner.eval(content));
             tuples.extend(local.iter().map(|t| t.shift(sp)));
         }
         SpanRelation::from_tuples(tuples)
     }
 
-    /// Cache statistics so far.
+    /// Cache statistics so far. When the cache is shared
+    /// ([`IncrementalRunner::with_cache`]), counters aggregate over
+    /// every user of the cache.
     pub fn stats(&self) -> CacheStats {
-        *self.stats.lock()
+        let s = self.cache.stats();
+        CacheStats {
+            hits: s.hits as usize,
+            misses: s.misses as usize,
+        }
     }
 
-    /// Number of cached segments.
+    /// Number of cached segments (across all spanners, for a shared
+    /// cache).
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.len()
+    }
+
+    /// The underlying segment cache.
+    pub fn cache(&self) -> &Arc<SegmentCache> {
+        &self.cache
     }
 
     /// Clears the cache and statistics.
     pub fn clear(&self) {
-        self.cache.lock().clear();
-        *self.stats.lock() = CacheStats::default();
+        self.cache.clear();
+        self.cache.reset_stats();
     }
-}
-
-fn hash_bytes(b: &[u8]) -> u64 {
-    let mut h = DefaultHasher::new();
-    b.hash(&mut h);
-    h.finish()
 }
 
 #[cfg(test)]
@@ -186,5 +202,35 @@ mod tests {
         r.clear();
         assert_eq!(r.cache_len(), 0);
         assert_eq!(r.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn eviction_never_changes_results() {
+        // Regression for the formerly-unbounded cache: a runner starved
+        // to (effectively) a handful of entries must keep returning
+        // exactly what an unbounded runner returns, across a working
+        // set far larger than its capacity, while actually evicting.
+        let spanner = ExecSpanner::compile(&Rgx::parse(".*x{a+}.*").unwrap().to_vsa().unwrap());
+        let starved =
+            IncrementalRunner::with_capacity(spanner.clone(), Arc::new(native::sentences), 2);
+        let unbounded = IncrementalRunner::new(spanner, Arc::new(native::sentences));
+        let docs: Vec<String> = (0..40)
+            .map(|i| format!("aa{i} bb. cc a{i}a. dd aaa{i}. tail a"))
+            .collect();
+        for round in 0..2 {
+            for (i, d) in docs.iter().enumerate() {
+                assert_eq!(
+                    starved.eval(d.as_bytes()),
+                    unbounded.eval(d.as_bytes()),
+                    "round {round} doc {i}"
+                );
+            }
+        }
+        let s = starved.cache().stats();
+        assert!(s.evictions > 0, "the bound must have been enforced: {s:?}");
+        assert!(
+            starved.cache_len() <= starved.cache().capacity(),
+            "cache stayed within its bound"
+        );
     }
 }

@@ -50,8 +50,11 @@ pub mod certify;
 pub mod corpus;
 pub mod engine;
 pub mod fleet;
+pub mod handle;
 pub mod incremental;
+pub mod options;
 pub mod pool;
+pub mod segcache;
 pub mod simulate;
 pub mod stream;
 
@@ -65,8 +68,11 @@ pub use engine::{
     SplitFn,
 };
 pub use fleet::{Fleet, FleetResult, FleetRunner, FleetStats};
+pub use handle::{CorpusHandle, DeltaStats};
 pub use incremental::IncrementalRunner;
+pub use options::{CompileOptions, RunnerOptions};
 pub use pool::{EvalPool, EvalPoolStats};
+pub use segcache::{SegCacheStats, SegmentCache};
 pub use simulate::{simulate_collection, simulate_split, SimReport};
 pub use stream::{Segment, StreamingSplitter};
 

@@ -301,3 +301,190 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Incremental maintenance: random edit scripts.
+//
+// The maintained-corpus subsystem promises:
+//
+// 5. **Differential**: a [`CorpusHandle`] driven by an arbitrary edit
+//    script — point edits, appends, shard replacements, in any order —
+//    holds exactly the segmentation a from-scratch split of the edited
+//    bytes would produce, and extraction through a *bounded* shared
+//    [`SegmentCache`] (capacity 2 here, so eviction churns on every
+//    step) equals full re-extraction from scratch, for every engine
+//    and both runners, down to 1-byte streaming chunks.
+
+use crate::handle::CorpusHandle;
+use crate::segcache::SegmentCache;
+use splitc_spanner::span::Span;
+
+/// One step of a random edit script. Picks are raw `u64`s reduced
+/// modulo the current corpus shape at application time, so scripts
+/// stay valid regardless of how earlier steps resized the shards.
+#[derive(Debug, Clone)]
+enum EditOp {
+    /// Replace `start..end` of a shard with `text`.
+    Point {
+        shard_pick: u64,
+        start_pick: u64,
+        len_pick: u64,
+        text: Vec<u8>,
+    },
+    /// Extend a shard at its end.
+    Append { shard_pick: u64, text: Vec<u8> },
+    /// Swap a shard's bytes wholesale.
+    Replace { shard_pick: u64, text: Vec<u8> },
+}
+
+fn edit_op_strategy() -> impl Strategy<Value = EditOp> {
+    prop_oneof![
+        (
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            doc_strategy()
+        )
+            .prop_map(|(shard_pick, start_pick, len_pick, text)| EditOp::Point {
+                shard_pick,
+                start_pick,
+                len_pick,
+                text,
+            }),
+        (0u64..u64::MAX, doc_strategy())
+            .prop_map(|(shard_pick, text)| EditOp::Append { shard_pick, text }),
+        (0u64..u64::MAX, doc_strategy())
+            .prop_map(|(shard_pick, text)| EditOp::Replace { shard_pick, text }),
+    ]
+}
+
+/// Applies one step to the handle and to the plain-bytes shadow state
+/// the differential oracle re-splits from scratch.
+fn apply_edit(op: &EditOp, handle: &mut CorpusHandle, shadow: &mut [Vec<u8>]) {
+    let n = shadow.len() as u64;
+    match op {
+        EditOp::Point {
+            shard_pick,
+            start_pick,
+            len_pick,
+            text,
+        } => {
+            let sh = (*shard_pick % n) as usize;
+            let len = shadow[sh].len() as u64;
+            let start = (*start_pick % (len + 1)) as usize;
+            let end = start + (*len_pick % (len + 1 - start as u64)) as usize;
+            handle.edit(sh, start..end, text);
+            shadow[sh].splice(start..end, text.iter().copied());
+        }
+        EditOp::Append { shard_pick, text } => {
+            let sh = (*shard_pick % n) as usize;
+            handle.append(sh, text);
+            shadow[sh].extend_from_slice(text);
+        }
+        EditOp::Replace { shard_pick, text } => {
+            let sh = (*shard_pick % n) as usize;
+            handle.replace_shard(sh, text.clone());
+            shadow[sh] = text.clone();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Edit scripts under every pool splitter and every engine: the
+    /// maintained segmentation equals a from-scratch split after every
+    /// step, and cached extraction (capacity-2 cache) equals a fresh
+    /// uncached run.
+    #[test]
+    fn corpus_handle_edit_scripts_match_full_reextraction(
+        si in 0..9usize,
+        pi in 0..PATTERNS.len(),
+        engine_pick in 0usize..4,
+        chunk_bytes in 1usize..8,
+        shards in proptest::collection::vec(doc_strategy(), 1..4),
+        script in proptest::collection::vec(edit_op_strategy(), 1..6),
+    ) {
+        let pool = splitter_pool();
+        let compiled = pool[si].compile();
+        let engine = pick_engine(engine_pick);
+        let vsa = Rgx::parse(PATTERNS[pi]).unwrap().to_vsa().unwrap();
+        let spanner = ExecSpanner::compile_with(&vsa, engine);
+        let config = CorpusRunnerConfig {
+            workers: 2,
+            batch_bytes: 16,
+            queue_depth: 2,
+            chunk_bytes,
+        };
+        // Capacity 2: far below the working set, so the FIFO evicts on
+        // nearly every insertion — results must not move.
+        let cache = Arc::new(SegmentCache::new(2));
+        let runner = CorpusRunner::new(spanner.clone(), compiled.clone(), config)
+            .with_segment_cache(cache);
+        let mut handle = CorpusHandle::from_shards(compiled.clone(), shards.clone());
+        let mut shadow = shards.clone();
+        for (step, op) in script.iter().enumerate() {
+            apply_edit(op, &mut handle, &mut shadow);
+            for (i, bytes) in shadow.iter().enumerate() {
+                let full: Vec<Span> = compiled.split(bytes);
+                prop_assert_eq!(
+                    handle.segments(i),
+                    &full[..],
+                    "step {} ({:?}): shard {} segmentation diverged",
+                    step, op, i
+                );
+            }
+            let incremental = handle.extract(&runner);
+            let refs: Vec<&[u8]> = shadow.iter().map(Vec::as_slice).collect();
+            let fresh = CorpusRunner::new(spanner.clone(), compiled.clone(), config);
+            let expected = fresh.run_slices(&refs);
+            prop_assert_eq!(
+                incremental.relations,
+                expected.relations,
+                "step {} ({:?}): cached incremental extraction diverged",
+                step, op
+            );
+        }
+    }
+
+    /// The same contract through the fused fleet runner: an edited,
+    /// cache-backed corpus equals a fresh full fleet re-extraction.
+    #[test]
+    fn corpus_handle_edit_scripts_match_fleet_reextraction(
+        seed in 0u64..u64::MAX,
+        n in 1usize..6,
+        engine_pick in 0usize..4,
+        chunk_bytes in 1usize..8,
+        shards in proptest::collection::vec(doc_strategy(), 1..3),
+        script in proptest::collection::vec(edit_op_strategy(), 1..5),
+    ) {
+        let compiled = splitter::sentences().compile();
+        let engine = pick_engine(engine_pick);
+        let vsas = rand_fleet(seed, n);
+        let fleet = Arc::new(Fleet::compile(&vsas, engine));
+        let config = CorpusRunnerConfig {
+            workers: 2,
+            batch_bytes: 16,
+            queue_depth: 2,
+            chunk_bytes,
+        };
+        let cache = Arc::new(SegmentCache::new(2));
+        let runner = FleetRunner::new(fleet.clone(), compiled.clone(), config)
+            .with_segment_cache(cache);
+        let mut handle = CorpusHandle::from_shards(compiled.clone(), shards.clone());
+        let mut shadow = shards.clone();
+        for op in &script {
+            apply_edit(op, &mut handle, &mut shadow);
+            let incremental = handle.extract_fleet(&runner);
+            let refs: Vec<&[u8]> = shadow.iter().map(Vec::as_slice).collect();
+            let fresh = FleetRunner::new(fleet.clone(), compiled.clone(), config);
+            let expected = fresh.run_slices(&refs);
+            prop_assert_eq!(
+                incremental.relations,
+                expected.relations,
+                "after {:?}: fleet incremental extraction diverged",
+                op
+            );
+        }
+    }
+}

@@ -68,6 +68,48 @@ impl StreamingSplitter {
         segments
     }
 
+    /// Log-tailing **follow mode**: returns the segments
+    /// [`StreamingSplitter::finish`] would emit *right now*, without
+    /// closing the stream. A consumer tailing a growing log calls this
+    /// after each [`StreamingSplitter::push`] to see the provisional
+    /// trailing segment(s) of the data so far, then keeps pushing —
+    /// the stream state is untouched (the peek runs on a clone of the
+    /// splitter simulation), so subsequent pushes behave exactly as if
+    /// the peek never happened. Segments already returned by `push`
+    /// are final and are not repeated here.
+    pub fn peek_finish(&self) -> Vec<Segment> {
+        self.state
+            .clone()
+            .finish()
+            .into_iter()
+            .map(|span| Segment {
+                span,
+                bytes: self.buf[span.start - self.base..span.end - self.base].to_vec(),
+            })
+            .collect()
+    }
+
+    /// Whether the underlying splitter stream is at a quiescent
+    /// position (see
+    /// [`SplitterState::is_quiescent`]):
+    /// everything up to the current position is finalized and the
+    /// continuation depends only on future bytes. In follow mode this
+    /// is the "nothing provisional right now" signal
+    /// ([`StreamingSplitter::peek_finish`] returns no segments ending
+    /// at the current position beyond what `push` already emitted).
+    pub fn is_quiescent(&self) -> bool {
+        self.state.is_quiescent()
+    }
+
+    /// The largest stream position observed quiescent so far (see
+    /// [`SplitterState::last_quiescent`]). Tracked per byte, so
+    /// quiescent positions strictly inside pushed chunks are reported —
+    /// the corpus-maintenance layer records these as stable resplit
+    /// frontiers.
+    pub fn last_quiescent(&self) -> usize {
+        self.state.last_quiescent()
+    }
+
     /// Ends the stream and returns the remaining segments.
     pub fn finish(self) -> Vec<Segment> {
         let StreamingSplitter {
@@ -183,5 +225,66 @@ mod tests {
         let s = splitter::sentences().compile();
         let st = StreamingSplitter::new(&s);
         assert!(st.finish().is_empty());
+    }
+
+    #[test]
+    fn follow_mode_peeks_without_disturbing_the_stream() {
+        let s = splitter::sentences().compile();
+        let mut st = StreamingSplitter::new(&s);
+        let mut emitted = Vec::new();
+        // Tail a "log" arriving in pieces; after each push, peek at the
+        // provisional tail and check it completes the stream so far.
+        let log = b"first line x. second y. trailing tail";
+        for piece in log.chunks(5) {
+            emitted.extend(st.push(piece));
+            let peek = st.peek_finish();
+            let fed = st.pos();
+            let expect: Vec<Segment> = s
+                .split(&log[..fed])
+                .into_iter()
+                .map(|span| Segment {
+                    span,
+                    bytes: span.slice(&log[..fed]).to_vec(),
+                })
+                .collect();
+            let mut seen = emitted.clone();
+            seen.extend(peek);
+            assert_eq!(seen, expect, "after {fed} bytes");
+        }
+        // The peeks must not have perturbed the final result.
+        emitted.extend(st.finish());
+        let expect: Vec<Segment> = s
+            .split(log)
+            .into_iter()
+            .map(|span| Segment {
+                span,
+                bytes: span.slice(log).to_vec(),
+            })
+            .collect();
+        assert_eq!(emitted, expect);
+    }
+
+    #[test]
+    fn quiescence_tracks_segment_boundaries() {
+        let s = splitter::sentences().compile();
+        let mut st = StreamingSplitter::new(&s);
+        st.push(b"a sentence.");
+        assert!(
+            st.is_quiescent(),
+            "just past the delimiter the stream is at a fresh start"
+        );
+        st.push(b" an open");
+        assert!(
+            !st.is_quiescent(),
+            "mid-segment is not quiescent (the next segment opened at the space)"
+        );
+        // The per-byte tracker still remembers the interior boundary.
+        assert_eq!(st.last_quiescent(), 11, "position just past the period");
+        st.push(b" more. and tail");
+        assert_eq!(
+            st.last_quiescent(),
+            25,
+            "advanced to just past the second period"
+        );
     }
 }

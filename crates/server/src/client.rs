@@ -46,6 +46,17 @@ impl Client {
         self.request("GET", path, None)
     }
 
+    /// PUTs `body` to `path` (corpus resource creation/replacement);
+    /// returns `(status, parsed body)`.
+    pub fn put(&mut self, path: &str, body: &Json) -> Result<(u16, Json), ClientError> {
+        self.request("PUT", path, Some(body))
+    }
+
+    /// DELETEs `path`; returns `(status, parsed body)`.
+    pub fn delete(&mut self, path: &str) -> Result<(u16, Json), ClientError> {
+        self.request("DELETE", path, None)
+    }
+
     fn connect(&mut self) -> Result<&mut BufReader<TcpStream>, ClientError> {
         if self.stream.is_none() {
             let stream = TcpStream::connect(self.addr)

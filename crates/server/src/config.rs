@@ -25,6 +25,10 @@ pub struct ServerConfig {
     pub batch_bytes: usize,
     /// Largest accepted request body, in bytes (`413` beyond).
     pub max_body_bytes: usize,
+    /// Capacity (in segments) of the process-wide segment cache shared
+    /// by every corpus-resource extraction. Bounded by FIFO eviction;
+    /// eviction affects speed only, never results.
+    pub segment_cache_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -35,6 +39,7 @@ impl Default for ServerConfig {
             queue_depth: 32,
             batch_bytes: 32 << 10,
             max_body_bytes: 16 << 20,
+            segment_cache_capacity: 1 << 16,
         }
     }
 }
@@ -58,6 +63,8 @@ pub enum ConfigError {
     ZeroBatchBytes,
     /// `max_body_bytes` was too small to carry any request.
     BodyCapTooSmall,
+    /// `segment_cache_capacity` was 0.
+    ZeroSegmentCache,
     /// A command-line flag had a malformed or missing value.
     BadFlag {
         /// The flag as typed.
@@ -78,6 +85,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroBatchBytes => write!(f, "batch-bytes must be at least 1"),
             ConfigError::BodyCapTooSmall => {
                 write!(f, "max body cap must be at least 1024 bytes")
+            }
+            ConfigError::ZeroSegmentCache => {
+                write!(f, "segment-cache capacity must be at least 1")
             }
             ConfigError::BadFlag { flag, reason } => write!(f, "flag {flag}: {reason}"),
         }
@@ -111,6 +121,9 @@ impl ServerConfig {
         }
         if self.max_body_bytes < 1024 {
             return Err(ConfigError::BodyCapTooSmall);
+        }
+        if self.segment_cache_capacity == 0 {
+            return Err(ConfigError::ZeroSegmentCache);
         }
         Ok(())
     }
@@ -155,6 +168,7 @@ impl ServerConfig {
                 "--queue-depth" => config.queue_depth = parse(&value, &flag)?,
                 "--batch-bytes" => config.batch_bytes = parse(&value, &flag)?,
                 "--max-body-bytes" => config.max_body_bytes = parse(&value, &flag)?,
+                "--segment-cache" => config.segment_cache_capacity = parse(&value, &flag)?,
                 _ => {
                     return Err(ConfigError::BadFlag {
                         flag,
@@ -219,6 +233,13 @@ mod tests {
                 },
                 ConfigError::BodyCapTooSmall,
             ),
+            (
+                ServerConfig {
+                    segment_cache_capacity: 0,
+                    ..base.clone()
+                },
+                ConfigError::ZeroSegmentCache,
+            ),
         ];
         for (config, want) in cases {
             assert_eq!(config.validate(), Err(want));
@@ -234,11 +255,14 @@ mod tests {
             "2",
             "--queue-depth",
             "5",
+            "--segment-cache",
+            "128",
             "--offline",
         ])
         .unwrap();
         assert!(offline);
         assert_eq!((c.port, c.workers, c.queue_depth), (0, 2, 5));
+        assert_eq!(c.segment_cache_capacity, 128);
 
         for bad in [
             vec!["--port"],
@@ -246,6 +270,7 @@ mod tests {
             vec!["--frobnicate", "1"],
             vec!["--workers", "0"],
             vec!["--port", "99999"],
+            vec!["--segment-cache", "0"],
         ] {
             assert!(ServerConfig::from_args(bad.clone()).is_err(), "{bad:?}");
         }

@@ -1,6 +1,7 @@
 //! Endpoint logic: JSON request → registry/runner calls → JSON response.
 //!
-//! Routes (all bodies and responses are JSON):
+//! Routes (all bodies and responses are JSON; every response leads with
+//! the protocol version field `"v": 1`):
 //!
 //! | Route | Request | Response |
 //! |---|---|---|
@@ -8,29 +9,52 @@
 //! | `POST /splitters` | `{"pattern"}` or `{"builtin"}` | `{"id", "cached"}` |
 //! | `POST /fleets` | `{"members": [ids]}` | `{"id", "cached", "members"}` |
 //! | `POST /certify` | `{"spanner"\|"fleet", "splitter"}` | `{"holds", "cached", ...}` |
-//! | `POST /extract` | `{"spanner"\|"fleet", "splitter", "docs", "unchecked"?}` | `{"relations", "stats"}` |
+//! | `POST /extract` | `{"spanner"\|"fleet", "splitter", "docs"\|"corpus", "unchecked"?}` | `{"relations", "stats"}` |
+//! | `PUT /corpus/{id}` | `{"splitter", "shards"}` | `{"id", "shards", "segments", ...}` |
+//! | `POST /corpus/{id}/delta` | `{"op", "shard", "start"?, "end"?, "text"}` | `{"delta", ...}` |
+//! | `GET /corpus/{id}` | — | corpus summary |
+//! | `DELETE /corpus/{id}` | — | `{"deleted": true}` |
 //! | `GET /stats` | — | full service statistics |
 //! | `GET /healthz` | — | `{"ok": true}` |
+//!
+//! Request bodies are validated against a per-route field list: an
+//! unknown field — or a `"v"` other than `1` — is a typed `400` naming
+//! the offending key, so a client typo (`"unckecked"`) fails loudly
+//! instead of being silently ignored.
 //!
 //! `/extract` refuses (`409`) when the requested pair is not certified
 //! self-split-correct — per-segment evaluation would change the
 //! extraction semantics — unless the request opts out with
 //! `"unchecked": true`. Certification happens transparently on first
 //! use and is cached thereafter (see [`crate::registry::Registry`]).
+//!
+//! `/extract` with `"corpus"` runs over a server-maintained corpus
+//! resource (PUT once, then POST deltas) with the process-wide
+//! [`SegmentCache`] attached: after a small delta, re-extraction
+//! re-evaluates only the segments the edit actually changed — every
+//! untouched segment is a content-addressed cache hit.
 
 use crate::config::ServerConfig;
 use crate::http::{Request, Response};
 use crate::json::Json;
 use crate::metrics::Metrics;
-use crate::registry::{hex_id, parse_hex_id, Registry, SplitterSpec};
+use crate::registry::{hex_id, parse_hex_id, valid_corpus_id, CorpusEntry, Registry, SplitterSpec};
 
 use splitc_core::cache::CachedVerdict;
 use splitc_core::Verdict;
-use splitc_exec::{CorpusRunner, CorpusRunnerConfig, Engine, EvalPool, FleetRunner};
+use splitc_exec::{
+    CorpusHandle, CorpusRunner, CorpusRunnerConfig, DeltaStats, Engine, EvalPool, FleetRunner,
+    SegmentCache,
+};
 use splitc_spanner::{SpanRelation, VarTable};
 
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The wire protocol version: stamped into every response as the
+/// leading `"v"` field; requests may carry `"v"` and are rejected when
+/// it differs.
+pub const PROTOCOL_VERSION: u64 = 1;
 
 /// Shared state of a running service: registries, the evaluation pool,
 /// metrics, and configuration.
@@ -42,6 +66,10 @@ pub struct ServiceState {
     pub pool: Arc<EvalPool>,
     /// Request/latency/execution metrics.
     pub metrics: Metrics,
+    /// Process-wide content-addressed segment cache, attached to every
+    /// corpus-resource extraction (bounded, see
+    /// [`ServerConfig::segment_cache_capacity`]).
+    pub segment_cache: Arc<SegmentCache>,
     /// The validated configuration the server was started with.
     pub config: ServerConfig,
 }
@@ -54,6 +82,7 @@ impl ServiceState {
             registry: Registry::new(),
             pool: Arc::new(EvalPool::new(config.workers)),
             metrics: Metrics::new(),
+            segment_cache: Arc::new(SegmentCache::new(config.segment_cache_capacity)),
             config,
         }
     }
@@ -78,6 +107,7 @@ pub fn handle(state: &ServiceState, req: &Request) -> Response {
         ("POST", "/certify") => Some(&state.metrics.certify_latency),
         ("POST", "/extract") => Some(&state.metrics.extract_latency),
         ("GET", "/stats") => Some(&state.metrics.stats_latency),
+        (_, p) if p.starts_with("/corpus/") => Some(&state.metrics.corpus_latency),
         _ => None,
     };
     if let Some(h) = histogram {
@@ -88,6 +118,9 @@ pub fn handle(state: &ServiceState, req: &Request) -> Response {
 }
 
 fn route(state: &ServiceState, req: &Request) -> Response {
+    if let Some(rest) = req.path.strip_prefix("/corpus/") {
+        return corpus_route(state, req, rest);
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/spanners") => with_body(req, |body| register_spanner(state, body)),
         ("POST", "/splitters") => with_body(req, |body| register_splitter(state, body)),
@@ -95,18 +128,79 @@ fn route(state: &ServiceState, req: &Request) -> Response {
         ("POST", "/certify") => with_body(req, |body| certify(state, body)),
         ("POST", "/extract") => with_body(req, |body| extract(state, body)),
         ("GET", "/stats") => stats(state),
-        ("GET", "/healthz") => Response::json(200, Json::obj(vec![("ok", Json::Bool(true))])),
+        ("GET", "/healthz") => respond(200, Json::obj(vec![("ok", Json::Bool(true))])),
         ("POST" | "GET", _) => error(404, format!("no route {} {}", req.method, req.path)),
         _ => error(405, format!("method {} not supported", req.method)),
     }
 }
 
-/// Builds a JSON error response.
+/// Dispatches `/corpus/{id}` and `/corpus/{id}/delta` by method.
+fn corpus_route(state: &ServiceState, req: &Request, rest: &str) -> Response {
+    let (id, sub) = match rest.split_once('/') {
+        Some((id, sub)) => (id, Some(sub)),
+        None => (rest, None),
+    };
+    if !valid_corpus_id(id) {
+        return error(
+            400,
+            format!("invalid corpus id {id:?} (want 1-64 chars of [A-Za-z0-9_-])"),
+        );
+    }
+    match (req.method.as_str(), sub) {
+        ("PUT", None) => with_body(req, |body| corpus_put(state, id, body)),
+        ("POST", Some("delta")) => with_body(req, |body| corpus_delta(state, id, body)),
+        ("GET", None) => corpus_get(state, id),
+        ("DELETE", None) => corpus_delete(state, id),
+        _ => error(404, format!("no route {} {}", req.method, req.path)),
+    }
+}
+
+/// Wraps a response body with the protocol version: every object
+/// response leads with `"v": 1`.
+fn respond(status: u16, body: Json) -> Response {
+    let body = match body {
+        Json::Obj(mut pairs) => {
+            pairs.insert(0, ("v".to_string(), Json::num(PROTOCOL_VERSION as u32)));
+            Json::Obj(pairs)
+        }
+        other => other,
+    };
+    Response::json(status, body)
+}
+
+/// Builds a JSON error response (versioned like every other response).
 pub fn error(status: u16, message: impl Into<String>) -> Response {
-    Response::json(
+    respond(
         status,
         Json::obj(vec![("error", Json::Str(message.into()))]),
     )
+}
+
+/// Validates a request body against the route's field contract: it
+/// must be a JSON object, an optional `"v"` must equal
+/// [`PROTOCOL_VERSION`], and every other key must be in `allowed`.
+/// Returns the typed `400` (naming the offending key) on violation.
+fn validate_keys(body: &Json, allowed: &[&str]) -> Option<Response> {
+    let Some(pairs) = body.as_obj() else {
+        return Some(error(400, "request body must be a JSON object"));
+    };
+    if let Some(v) = body.get("v") {
+        if v.as_u64() != Some(PROTOCOL_VERSION) {
+            return Some(error(
+                400,
+                format!("unsupported protocol version {v} (this server speaks \"v\": 1)"),
+            ));
+        }
+    }
+    for (key, _) in pairs {
+        if key != "v" && !allowed.contains(&key.as_str()) {
+            return Some(error(
+                400,
+                format!("unknown field {key:?} (allowed: v, {})", allowed.join(", ")),
+            ));
+        }
+    }
+    None
 }
 
 fn with_body(req: &Request, f: impl FnOnce(&Json) -> Response) -> Response {
@@ -132,6 +226,9 @@ fn require_id(body: &Json, key: &str) -> Result<u64, Response> {
 }
 
 fn register_spanner(state: &ServiceState, body: &Json) -> Response {
+    if let Some(r) = validate_keys(body, &["pattern", "engine"]) {
+        return r;
+    }
     let pattern = match require_str(body, "pattern") {
         Ok(p) => p,
         Err(r) => return r,
@@ -145,7 +242,7 @@ fn register_spanner(state: &ServiceState, body: &Json) -> Response {
     };
     match state.registry.register_spanner(pattern, engine) {
         Err(e) => error(400, e),
-        Ok((entry, cached)) => Response::json(
+        Ok((entry, cached)) => respond(
             200,
             Json::obj(vec![
                 ("id", Json::str(hex_id(entry.id))),
@@ -173,6 +270,9 @@ fn register_spanner(state: &ServiceState, body: &Json) -> Response {
 }
 
 fn register_splitter(state: &ServiceState, body: &Json) -> Response {
+    if let Some(r) = validate_keys(body, &["pattern", "builtin"]) {
+        return r;
+    }
     let spec = match (
         body.get("pattern").and_then(Json::as_str),
         body.get("builtin").and_then(Json::as_str),
@@ -183,7 +283,7 @@ fn register_splitter(state: &ServiceState, body: &Json) -> Response {
     };
     match state.registry.register_splitter(&spec) {
         Err(e) => error(400, e),
-        Ok((entry, cached)) => Response::json(
+        Ok((entry, cached)) => respond(
             200,
             Json::obj(vec![
                 ("id", Json::str(hex_id(entry.id))),
@@ -195,6 +295,9 @@ fn register_splitter(state: &ServiceState, body: &Json) -> Response {
 }
 
 fn register_fleet(state: &ServiceState, body: &Json) -> Response {
+    if let Some(r) = validate_keys(body, &["members"]) {
+        return r;
+    }
     let members = match body.get("members").and_then(Json::as_arr) {
         Some(m) => m,
         None => return error(400, "missing array field \"members\""),
@@ -208,7 +311,7 @@ fn register_fleet(state: &ServiceState, body: &Json) -> Response {
     }
     match state.registry.register_fleet(&ids) {
         Err(e) => error(400, e),
-        Ok((entry, cached)) => Response::json(
+        Ok((entry, cached)) => respond(
             200,
             Json::obj(vec![
                 ("id", Json::str(hex_id(entry.id))),
@@ -240,6 +343,9 @@ fn verdict_json(v: &CachedVerdict) -> Json {
 }
 
 fn certify(state: &ServiceState, body: &Json) -> Response {
+    if let Some(r) = validate_keys(body, &["spanner", "fleet", "splitter"]) {
+        return r;
+    }
     let splitter_id = match require_id(body, "splitter") {
         Ok(id) => id,
         Err(r) => return r,
@@ -269,7 +375,7 @@ fn certify(state: &ServiceState, body: &Json) -> Response {
             if let Json::Obj(pairs) = verdict_json(&verdict) {
                 fields.extend(pairs);
             }
-            Response::json(200, Json::Obj(fields))
+            respond(200, Json::Obj(fields))
         }
         (None, Some(_)) => {
             let fleet_id = match require_id(body, "fleet") {
@@ -294,7 +400,7 @@ fn certify(state: &ServiceState, body: &Json) -> Response {
                     Json::Obj(obj)
                 })
                 .collect();
-            Response::json(
+            respond(
                 200,
                 Json::obj(vec![
                     ("holds", Json::Bool(holds)),
@@ -335,17 +441,80 @@ fn relation_json(relation: &SpanRelation, vars: &VarTable) -> Json {
     )
 }
 
+/// Renders the process-wide segment cache counters (reported by
+/// corpus-resource extractions, whose incrementality they witness).
+fn seg_cache_json(cache: &SegmentCache) -> Json {
+    let s = cache.stats();
+    Json::obj(vec![
+        ("hits", Json::Num(s.hits as f64)),
+        ("misses", Json::Num(s.misses as f64)),
+        ("evictions", Json::Num(s.evictions as f64)),
+        ("entries", Json::num(cache.len() as u32)),
+    ])
+}
+
 fn extract(state: &ServiceState, body: &Json) -> Response {
-    let splitter_id = match require_id(body, "splitter") {
-        Ok(id) => id,
-        Err(r) => return r,
+    if let Some(r) = validate_keys(
+        body,
+        &[
+            "spanner",
+            "fleet",
+            "splitter",
+            "docs",
+            "corpus",
+            "unchecked",
+        ],
+    ) {
+        return r;
+    }
+    // Input source: inline "docs" or a maintained "corpus" resource.
+    let corpus: Option<Arc<CorpusEntry>> = match (body.get("corpus"), body.get("docs")) {
+        (Some(_), Some(_)) => return error(400, "pass either \"docs\" or \"corpus\", not both"),
+        (Some(c), None) => match c.as_str() {
+            Some(name) => match state.registry.corpus(name) {
+                Some(entry) => Some(entry),
+                None => return error(404, format!("unknown corpus {name:?}")),
+            },
+            None => return error(400, "\"corpus\" must be a string (resource name)"),
+        },
+        (None, _) => None,
+    };
+    // The splitter: explicit for inline docs; bound by the corpus for
+    // resource extraction (an explicit one must then agree, since the
+    // maintained segmentation was produced under it).
+    let splitter_id = match &corpus {
+        Some(entry) => {
+            if body.get("splitter").is_some() {
+                let id = match require_id(body, "splitter") {
+                    Ok(id) => id,
+                    Err(r) => return r,
+                };
+                if id != entry.splitter_id {
+                    return error(
+                        409,
+                        format!(
+                            "corpus {:?} is maintained under splitter {}, not {}",
+                            entry.id,
+                            hex_id(entry.splitter_id),
+                            hex_id(id)
+                        ),
+                    );
+                }
+            }
+            entry.splitter_id
+        }
+        None => match require_id(body, "splitter") {
+            Ok(id) => id,
+            Err(r) => return r,
+        },
     };
     let splitter = match state.registry.splitter(splitter_id) {
         Some(s) => s,
         None => return error(404, format!("unknown splitter {}", hex_id(splitter_id))),
     };
-    let docs: Vec<&str> = match body.get("docs").and_then(Json::as_arr) {
-        Some(items) => {
+    let docs: Vec<&str> = match (&corpus, body.get("docs").and_then(Json::as_arr)) {
+        (Some(_), _) => Vec::new(),
+        (None, Some(items)) => {
             let mut docs = Vec::with_capacity(items.len());
             for item in items {
                 match item.as_str() {
@@ -355,7 +524,7 @@ fn extract(state: &ServiceState, body: &Json) -> Response {
             }
             docs
         }
-        None => return error(400, "missing array field \"docs\""),
+        (None, None) => return error(400, "missing field \"docs\" (or \"corpus\")"),
     };
     let doc_bytes: Vec<&[u8]> = docs.iter().map(|d| d.as_bytes()).collect();
     let unchecked = body
@@ -379,20 +548,53 @@ fn extract(state: &ServiceState, body: &Json) -> Response {
                     return not_split_correct(&verdict);
                 }
             }
-            let runner = CorpusRunner::with_pool(
+            let mut runner = CorpusRunner::with_pool(
                 spanner.exec.clone(),
                 splitter.compiled.clone(),
                 state.runner_config(),
                 state.pool.clone(),
             );
-            let result = runner.run_slices(&doc_bytes);
+            if corpus.is_some() {
+                runner = runner.with_segment_cache(state.segment_cache.clone());
+            }
+            let result = match &corpus {
+                // The entry mutex serializes extraction and mutation of
+                // one corpus; the presplit segmentation is reused as-is.
+                Some(entry) => entry.handle.lock().extract(&runner),
+                None => runner.run_slices(&doc_bytes),
+            };
             state.metrics.record_corpus(&result.stats);
             let vars = spanner.vsa.vars();
-            Response::json(
+            let mut stats_pairs = vec![
+                ("docs".to_string(), Json::num(result.stats.docs as u32)),
+                (
+                    "segments".to_string(),
+                    Json::num(result.stats.segments as u32),
+                ),
+                (
+                    "segment_bytes".to_string(),
+                    Json::Num(result.stats.segment_bytes as f64),
+                ),
+                (
+                    "batches".to_string(),
+                    Json::num(result.stats.batches as u32),
+                ),
+            ];
+            if corpus.is_some() {
+                stats_pairs.push((
+                    "docs_reused".to_string(),
+                    Json::num(result.stats.docs_reused as u32),
+                ));
+                stats_pairs.push((
+                    "segment_cache".to_string(),
+                    seg_cache_json(&state.segment_cache),
+                ));
+            }
+            respond(
                 200,
-                Json::obj(vec![
+                Json::Obj(vec![
                     (
-                        "relations",
+                        "relations".to_string(),
                         Json::Arr(
                             result
                                 .relations
@@ -401,18 +603,7 @@ fn extract(state: &ServiceState, body: &Json) -> Response {
                                 .collect(),
                         ),
                     ),
-                    (
-                        "stats",
-                        Json::obj(vec![
-                            ("docs", Json::num(result.stats.docs as u32)),
-                            ("segments", Json::num(result.stats.segments as u32)),
-                            (
-                                "segment_bytes",
-                                Json::Num(result.stats.segment_bytes as f64),
-                            ),
-                            ("batches", Json::num(result.stats.batches as u32)),
-                        ]),
-                    ),
+                    ("stats".to_string(), Json::Obj(stats_pairs)),
                 ]),
             )
         }
@@ -431,19 +622,62 @@ fn extract(state: &ServiceState, body: &Json) -> Response {
                     return not_split_correct(bad);
                 }
             }
-            let runner = FleetRunner::with_pool(
+            let mut runner = FleetRunner::with_pool(
                 fleet.fleet.clone(),
                 splitter.compiled.clone(),
                 state.runner_config(),
                 state.pool.clone(),
             );
-            let result = runner.run_slices(&doc_bytes);
+            if corpus.is_some() {
+                runner = runner.with_segment_cache(state.segment_cache.clone());
+            }
+            let result = match &corpus {
+                Some(entry) => entry.handle.lock().extract_fleet(&runner),
+                None => runner.run_slices(&doc_bytes),
+            };
             state.metrics.record_fleet(&result.stats);
-            Response::json(
+            let mut stats_pairs = vec![
+                ("docs".to_string(), Json::num(result.stats.docs as u32)),
+                (
+                    "segments".to_string(),
+                    Json::num(result.stats.segments as u32),
+                ),
+                (
+                    "segment_bytes".to_string(),
+                    Json::Num(result.stats.segment_bytes as f64),
+                ),
+                (
+                    "batches".to_string(),
+                    Json::num(result.stats.batches as u32),
+                ),
+                (
+                    "dispatches".to_string(),
+                    Json::Num(result.stats.dispatches as f64),
+                ),
+                (
+                    "gate_rejected".to_string(),
+                    Json::Num(result.stats.gate_rejected as f64),
+                ),
+                (
+                    "scan_rejected".to_string(),
+                    Json::Num(result.stats.scan_rejected as f64),
+                ),
+            ];
+            if corpus.is_some() {
+                stats_pairs.push((
+                    "docs_reused".to_string(),
+                    Json::num(result.stats.docs_reused as u32),
+                ));
+                stats_pairs.push((
+                    "segment_cache".to_string(),
+                    seg_cache_json(&state.segment_cache),
+                ));
+            }
+            respond(
                 200,
-                Json::obj(vec![
+                Json::Obj(vec![
                     (
-                        "relations",
+                        "relations".to_string(),
                         Json::Arr(
                             result
                                 .relations
@@ -460,31 +694,184 @@ fn extract(state: &ServiceState, body: &Json) -> Response {
                                 .collect(),
                         ),
                     ),
-                    (
-                        "stats",
-                        Json::obj(vec![
-                            ("docs", Json::num(result.stats.docs as u32)),
-                            ("segments", Json::num(result.stats.segments as u32)),
-                            (
-                                "segment_bytes",
-                                Json::Num(result.stats.segment_bytes as f64),
-                            ),
-                            ("batches", Json::num(result.stats.batches as u32)),
-                            ("dispatches", Json::Num(result.stats.dispatches as f64)),
-                            (
-                                "gate_rejected",
-                                Json::Num(result.stats.gate_rejected as f64),
-                            ),
-                            (
-                                "scan_rejected",
-                                Json::Num(result.stats.scan_rejected as f64),
-                            ),
-                        ]),
-                    ),
+                    ("stats".to_string(), Json::Obj(stats_pairs)),
                 ]),
             )
         }
         _ => error(400, "exactly one of \"spanner\" or \"fleet\" is required"),
+    }
+}
+
+/// Renders a corpus summary (the non-`"v"` part shared by the corpus
+/// endpoints' responses).
+fn corpus_summary(entry: &CorpusEntry, handle: &CorpusHandle) -> Vec<(String, Json)> {
+    vec![
+        ("id".to_string(), Json::str(entry.id.clone())),
+        ("splitter".to_string(), Json::str(hex_id(entry.splitter_id))),
+        ("shards".to_string(), Json::num(handle.num_shards() as u32)),
+        (
+            "segments".to_string(),
+            Json::num(handle.total_segments() as u32),
+        ),
+        ("bytes".to_string(), Json::Num(handle.total_bytes() as f64)),
+    ]
+}
+
+/// `PUT /corpus/{id}`: creates or wholesale-replaces a maintained
+/// corpus resource, splitting each shard once under the given splitter.
+fn corpus_put(state: &ServiceState, id: &str, body: &Json) -> Response {
+    if let Some(r) = validate_keys(body, &["splitter", "shards"]) {
+        return r;
+    }
+    let splitter_id = match require_id(body, "splitter") {
+        Ok(id) => id,
+        Err(r) => return r,
+    };
+    let splitter = match state.registry.splitter(splitter_id) {
+        Some(s) => s,
+        None => return error(404, format!("unknown splitter {}", hex_id(splitter_id))),
+    };
+    let shards: Vec<Vec<u8>> = match body.get("shards").and_then(Json::as_arr) {
+        Some(items) => {
+            let mut shards = Vec::with_capacity(items.len());
+            for item in items {
+                match item.as_str() {
+                    Some(s) => shards.push(s.as_bytes().to_vec()),
+                    None => return error(400, "\"shards\" must be an array of strings"),
+                }
+            }
+            shards
+        }
+        None => return error(400, "missing array field \"shards\""),
+    };
+    let handle = CorpusHandle::from_shards(splitter.compiled.clone(), shards);
+    let (entry, replaced) = state.registry.put_corpus(id, splitter_id, handle);
+    let guard = entry.handle.lock();
+    let mut fields = corpus_summary(&entry, &guard);
+    fields.push(("replaced".to_string(), Json::Bool(replaced)));
+    respond(200, Json::Obj(fields))
+}
+
+/// Renders the [`DeltaStats`] of one delta application.
+fn delta_json(stats: &DeltaStats) -> Json {
+    Json::obj(vec![
+        ("window_start", Json::Num(stats.window_start as f64)),
+        ("window_end", Json::Num(stats.window_end as f64)),
+        ("resplit_bytes", Json::Num(stats.resplit_bytes as f64)),
+        ("converged", Json::Bool(stats.converged)),
+        (
+            "segments_reused_prefix",
+            Json::num(stats.segments_reused_prefix as u32),
+        ),
+        (
+            "segments_reused_suffix",
+            Json::num(stats.segments_reused_suffix as u32),
+        ),
+        ("segments_resplit", Json::num(stats.segments_resplit as u32)),
+    ])
+}
+
+/// `POST /corpus/{id}/delta`: applies one edit operation — a point
+/// `edit` (replace `start..end` of a shard with `text`), an `append`,
+/// or a `replace_shard` — resplitting only the dirty window between the
+/// quiescent frontiers (see [`CorpusHandle::edit`]).
+fn corpus_delta(state: &ServiceState, id: &str, body: &Json) -> Response {
+    if let Some(r) = validate_keys(body, &["op", "shard", "start", "end", "text"]) {
+        return r;
+    }
+    let entry = match state.registry.corpus(id) {
+        Some(e) => e,
+        None => return error(404, format!("unknown corpus {id:?}")),
+    };
+    let op = match require_str(body, "op") {
+        Ok(o) => o,
+        Err(r) => return r,
+    };
+    let shard = match body.get("shard").and_then(Json::as_u64) {
+        Some(s) => s as usize,
+        None => return error(400, "missing integer field \"shard\""),
+    };
+    let text = match require_str(body, "text") {
+        Ok(t) => t,
+        Err(r) => return r,
+    };
+    let mut handle = entry.handle.lock();
+    if shard >= handle.num_shards() {
+        return error(
+            404,
+            format!(
+                "corpus {id:?} has {} shards, no shard {shard}",
+                handle.num_shards()
+            ),
+        );
+    }
+    let stats = match op {
+        "edit" => {
+            let (start, end) = match (
+                body.get("start").and_then(Json::as_u64),
+                body.get("end").and_then(Json::as_u64),
+            ) {
+                (Some(s), Some(e)) => (s as usize, e as usize),
+                _ => return error(400, "\"edit\" needs integer fields \"start\" and \"end\""),
+            };
+            let len = handle.shard_bytes(shard).len();
+            if start > end || end > len {
+                return error(
+                    400,
+                    format!("edit range {start}..{end} out of bounds (shard len {len})"),
+                );
+            }
+            handle.edit(shard, start..end, text.as_bytes())
+        }
+        "append" => handle.append(shard, text.as_bytes()),
+        "replace_shard" => handle.replace_shard(shard, text.as_bytes().to_vec()),
+        other => {
+            return error(
+                400,
+                format!("unknown op {other:?} (expected edit|append|replace_shard)"),
+            )
+        }
+    };
+    let mut fields = corpus_summary(&entry, &handle);
+    fields.push(("op".to_string(), Json::str(op)));
+    fields.push(("delta".to_string(), delta_json(&stats)));
+    respond(200, Json::Obj(fields))
+}
+
+/// `GET /corpus/{id}`: the corpus summary plus per-shard sizes.
+fn corpus_get(state: &ServiceState, id: &str) -> Response {
+    let entry = match state.registry.corpus(id) {
+        Some(e) => e,
+        None => return error(404, format!("unknown corpus {id:?}")),
+    };
+    let handle = entry.handle.lock();
+    let mut fields = corpus_summary(&entry, &handle);
+    fields.push((
+        "shard_sizes".to_string(),
+        Json::Arr(
+            (0..handle.num_shards())
+                .map(|s| {
+                    Json::obj(vec![
+                        ("bytes", Json::Num(handle.shard_bytes(s).len() as f64)),
+                        ("segments", Json::num(handle.segments(s).len() as u32)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    respond(200, Json::Obj(fields))
+}
+
+/// `DELETE /corpus/{id}`: drops the resource (its cached segment
+/// relations age out of the bounded segment cache naturally).
+fn corpus_delete(state: &ServiceState, id: &str) -> Response {
+    if state.registry.remove_corpus(id) {
+        respond(
+            200,
+            Json::obj(vec![("id", Json::str(id)), ("deleted", Json::Bool(true))]),
+        )
+    } else {
+        error(404, format!("unknown corpus {id:?}"))
     }
 }
 
@@ -598,7 +985,7 @@ fn not_split_correct(verdict: &CachedVerdict) -> Response {
         Ok(Verdict::Holds) => unreachable!("only called on failures"),
         Err(e) => format!("certification failed: {e}"),
     };
-    Response::json(
+    respond(
         409,
         Json::obj(vec![
             ("error", Json::str(detail)),
@@ -612,6 +999,7 @@ fn not_split_correct(verdict: &CachedVerdict) -> Response {
 
 fn stats(state: &ServiceState) -> Response {
     let (spanners, splitters, fleets) = state.registry.counts();
+    let corpora = state.registry.corpus_count();
     let compile = state.registry.compile_stats();
     let cert = state.registry.cert_stats();
     let pool = state.pool.stats();
@@ -639,6 +1027,7 @@ fn stats(state: &ServiceState) -> Response {
                 ("spanners", Json::num(spanners as u32)),
                 ("splitters", Json::num(splitters as u32)),
                 ("fleets", Json::num(fleets as u32)),
+                ("corpora", Json::num(corpora as u32)),
                 ("entries", entries),
                 (
                     "compile_cache",
@@ -679,5 +1068,9 @@ fn stats(state: &ServiceState) -> Response {
     if let Json::Obj(pairs) = state.metrics.to_json() {
         doc.extend(pairs);
     }
-    Response::json(200, Json::Obj(doc))
+    doc.push((
+        "segment_cache".to_string(),
+        seg_cache_json(&state.segment_cache),
+    ));
+    respond(200, Json::Obj(doc))
 }

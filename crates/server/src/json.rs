@@ -100,6 +100,15 @@ impl Json {
         }
     }
 
+    /// The ordered key/value pairs, if this is an object. The request
+    /// validator walks these to reject unknown fields with a typed 400.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// Parses a complete JSON document (trailing non-whitespace is an
     /// error).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
@@ -468,6 +477,8 @@ mod tests {
         assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
         assert_eq!(v.get("b").unwrap().as_bool(), Some(false));
         assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 1);
+        assert_eq!(v.as_obj().unwrap().len(), 5, "ordered pairs");
+        assert!(v.get("a").unwrap().as_obj().is_none(), "array is not obj");
         assert!(v.get("missing").is_none());
         assert_eq!(Json::parse("-2").unwrap().as_u64(), None, "negative");
     }

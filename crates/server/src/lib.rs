@@ -20,8 +20,16 @@
 //! * [`handlers`] — the endpoints: register, certify, `/extract`
 //!   (streams through [`splitc_exec::CorpusRunner`] /
 //!   [`splitc_exec::FleetRunner`] on a shared long-lived
-//!   [`splitc_exec::EvalPool`]), and `/stats` (latency histograms,
+//!   [`splitc_exec::EvalPool`]), the `/corpus/{id}` resources
+//!   (server-maintained [`splitc_exec::CorpusHandle`]s: `PUT` shards
+//!   once, `POST` deltas that resplit only the dirty window, extract
+//!   by corpus id through the process-wide bounded
+//!   [`splitc_exec::SegmentCache`]), and `/stats` (latency histograms,
 //!   cache hit rates, execution and antichain-search totals).
+//!   Every response carries the wire protocol version as a leading
+//!   `"v": 1`; request bodies are validated against per-route field
+//!   lists and unknown fields are rejected with a `400` naming the
+//!   offending key.
 //! * [`json`] / [`http`] — the wire formats, also hand-rolled.
 //! * [`client`] — a small blocking client used by the integration
 //!   tests and the `e8_server` benchmark.
@@ -45,8 +53,8 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use config::{ConfigError, ServerConfig};
-pub use handlers::{offline_extract, ServiceState};
+pub use handlers::{offline_extract, ServiceState, PROTOCOL_VERSION};
 pub use json::{Json, JsonError};
 pub use metrics::{LatencyHistogram, Metrics};
-pub use registry::{hex_id, parse_hex_id, Registry, SplitterSpec};
+pub use registry::{hex_id, parse_hex_id, valid_corpus_id, CorpusEntry, Registry, SplitterSpec};
 pub use server::{Server, SpawnError};

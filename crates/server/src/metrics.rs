@@ -102,6 +102,9 @@ pub struct Metrics {
     pub certify_latency: LatencyHistogram,
     /// `/extract` latency.
     pub extract_latency: LatencyHistogram,
+    /// Corpus-resource endpoint latency (`PUT`/`GET`/`DELETE`
+    /// `/corpus/{id}` and `POST /corpus/{id}/delta`).
+    pub corpus_latency: LatencyHistogram,
     /// `/stats` latency.
     pub stats_latency: LatencyHistogram,
     /// Requests answered, by status class.
@@ -205,6 +208,7 @@ impl Metrics {
                     ("register", self.register_latency.to_json()),
                     ("certify", self.certify_latency.to_json()),
                     ("extract", self.extract_latency.to_json()),
+                    ("corpus", self.corpus_latency.to_json()),
                     ("stats", self.stats_latency.to_json()),
                 ]),
             ),

@@ -14,7 +14,7 @@
 
 use splitc_core::cache::{content_hash, CachedVerdict, CertCache, CertCacheStats};
 use splitc_core::split_correct;
-use splitc_exec::{certify_many, CertifyConfig, Engine, ExecSpanner, Fleet};
+use splitc_exec::{certify_many, CertifyConfig, CorpusHandle, Engine, ExecSpanner, Fleet};
 use splitc_spanner::splitter as splitters;
 use splitc_spanner::splitter::CompiledSplitter;
 use splitc_spanner::{Splitter, Vsa};
@@ -82,6 +82,37 @@ pub struct FleetEntry {
     pub fleet: Arc<Fleet>,
 }
 
+/// A server-maintained corpus resource: shard bytes plus their
+/// maintained segmentation, bound to the splitter it was split under.
+///
+/// Unlike the compiled-artifact registries, corpora are **named by the
+/// client** (ids are resource names, not content hashes — the same
+/// name is re-`PUT` to replace) and **mutable**: `POST
+/// /corpus/{id}/delta` edits the handle in place, resplitting only the
+/// dirty window (see [`CorpusHandle`]). The per-entry mutex serializes
+/// mutation and extraction of one corpus; distinct corpora proceed in
+/// parallel.
+#[derive(Debug)]
+pub struct CorpusEntry {
+    /// The client-chosen resource name.
+    pub id: String,
+    /// Id of the registered splitter the corpus is maintained under —
+    /// extraction by corpus id certifies against *this* splitter.
+    pub splitter_id: u64,
+    /// The maintained shards + segmentations.
+    pub handle: Mutex<CorpusHandle>,
+}
+
+/// Whether `id` is a legal corpus resource name: 1–64 characters from
+/// `[A-Za-z0-9_-]` (it appears in a URL path, so no separators).
+pub fn valid_corpus_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
 /// How a splitter is specified on the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SplitterSpec {
@@ -133,6 +164,7 @@ pub struct Registry {
     spanners: Mutex<HashMap<u64, Arc<SpannerEntry>>>,
     splitters: Mutex<HashMap<u64, Arc<SplitterEntry>>>,
     fleets: Mutex<HashMap<u64, Arc<FleetEntry>>>,
+    corpora: Mutex<HashMap<String, Arc<CorpusEntry>>>,
     cert: CertCache,
     compile_hits: AtomicU64,
     compile_misses: AtomicU64,
@@ -246,6 +278,45 @@ impl Registry {
         let stored = self.fleets.lock().entry(id).or_insert(entry).clone();
         self.compile_misses.fetch_add(1, Ordering::Relaxed);
         Ok((stored, false))
+    }
+
+    /// Creates or replaces the corpus resource named `id`, split under
+    /// `splitter_id`. Returns the stored entry plus whether an existing
+    /// corpus was replaced. `PUT` semantics: the whole resource is the
+    /// request's shard set; incremental changes go through deltas.
+    pub fn put_corpus(
+        &self,
+        id: &str,
+        splitter_id: u64,
+        handle: CorpusHandle,
+    ) -> (Arc<CorpusEntry>, bool) {
+        let entry = Arc::new(CorpusEntry {
+            id: id.to_string(),
+            splitter_id,
+            handle: Mutex::new(handle),
+        });
+        let replaced = self
+            .corpora
+            .lock()
+            .insert(id.to_string(), entry.clone())
+            .is_some();
+        (entry, replaced)
+    }
+
+    /// Looks a corpus resource up by name.
+    pub fn corpus(&self, id: &str) -> Option<Arc<CorpusEntry>> {
+        self.corpora.lock().get(id).cloned()
+    }
+
+    /// Deletes the corpus resource named `id`; `false` if it did not
+    /// exist.
+    pub fn remove_corpus(&self, id: &str) -> bool {
+        self.corpora.lock().remove(id).is_some()
+    }
+
+    /// Corpus resources currently held.
+    pub fn corpus_count(&self) -> usize {
+        self.corpora.lock().len()
     }
 
     /// Looks a spanner up by id.
@@ -418,6 +489,41 @@ mod tests {
         assert_eq!(r.cert_stats().misses, misses_before + 1, "one new member");
         let (_, all_cached) = r.certify_fleet(&fl, &sl);
         assert!(all_cached, "second fleet certification is all hits");
+    }
+
+    #[test]
+    fn corpus_store_is_named_and_mutable() {
+        let r = Registry::new();
+        let (sl, _) = r
+            .register_splitter(&SplitterSpec::Builtin("sentences".into()))
+            .unwrap();
+        let handle = CorpusHandle::from_shards(
+            sl.compiled.clone(),
+            vec![b"one one. two.".to_vec(), b"three.".to_vec()],
+        );
+        let (entry, replaced) = r.put_corpus("wiki", sl.id, handle);
+        assert!(!replaced);
+        assert_eq!(entry.handle.lock().num_shards(), 2);
+        assert_eq!(r.corpus("wiki").unwrap().splitter_id, sl.id);
+        assert_eq!(r.corpus_count(), 1);
+        // Re-PUT replaces the whole resource under the same name.
+        let (_, replaced) = r.put_corpus("wiki", sl.id, CorpusHandle::new(sl.compiled.clone()));
+        assert!(replaced);
+        assert_eq!(r.corpus("wiki").unwrap().handle.lock().num_shards(), 0);
+        // Deltas through the stored entry are visible to later lookups.
+        let entry = r.corpus("wiki").unwrap();
+        entry.handle.lock().push_shard(b"added.".to_vec());
+        assert_eq!(r.corpus("wiki").unwrap().handle.lock().num_shards(), 1);
+        assert!(r.remove_corpus("wiki"));
+        assert!(!r.remove_corpus("wiki"), "already gone");
+        assert!(r.corpus("wiki").is_none());
+
+        for ok in ["a", "wiki-2_dump", &"x".repeat(64)] {
+            assert!(valid_corpus_id(ok), "{ok:?}");
+        }
+        for bad in ["", "a/b", "a b", "é", &"x".repeat(65)] {
+            assert!(!valid_corpus_id(bad), "{bad:?}");
+        }
     }
 
     #[test]

@@ -17,9 +17,8 @@
 //! requests complete; new connections are refused.
 
 use crate::config::{ConfigError, ServerConfig};
-use crate::handlers::{handle, ServiceState};
-use crate::http::{read_request, HttpError, Response};
-use crate::json::Json;
+use crate::handlers::{error, handle, ServiceState};
+use crate::http::{read_request, HttpError};
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -171,15 +170,9 @@ fn accept_loop(
                     Err(TrySendError::Full(stream)) => {
                         state.metrics.rejected_429.fetch_add(1, Ordering::Relaxed);
                         let mut stream = stream;
-                        let _ = Response::json(
-                            429,
-                            Json::obj(vec![(
-                                "error",
-                                Json::str("admission queue full, retry later"),
-                            )]),
-                        )
-                        .closing()
-                        .write_to(&mut stream);
+                        let _ = error(429, "admission queue full, retry later")
+                            .closing()
+                            .write_to(&mut stream);
                     }
                     Err(TrySendError::Disconnected(_)) => break,
                 }
@@ -257,12 +250,9 @@ fn serve_connection(stream: TcpStream, state: &ServiceState, stop: &AtomicBool) 
             }
             Err(HttpError::BodyTooLarge { declared, limit }) => {
                 state.metrics.count_status(413);
-                let _ = Response::json(
+                let _ = error(
                     413,
-                    Json::obj(vec![(
-                        "error",
-                        Json::str(format!("body of {declared} bytes exceeds limit {limit}")),
-                    )]),
+                    format!("body of {declared} bytes exceeds limit {limit}"),
                 )
                 .closing()
                 .write_to(&mut writer);
@@ -270,15 +260,9 @@ fn serve_connection(stream: TcpStream, state: &ServiceState, stop: &AtomicBool) 
             }
             Err(HttpError::Malformed(m)) => {
                 state.metrics.count_status(400);
-                let _ = Response::json(
-                    400,
-                    Json::obj(vec![(
-                        "error",
-                        Json::str(format!("malformed request: {m}")),
-                    )]),
-                )
-                .closing()
-                .write_to(&mut writer);
+                let _ = error(400, format!("malformed request: {m}"))
+                    .closing()
+                    .write_to(&mut writer);
                 return;
             }
             Err(HttpError::Io(_)) => return,

@@ -541,3 +541,279 @@ fn shutdown_is_graceful_and_idempotent() {
     };
     assert!(refused, "server still serving after shutdown");
 }
+
+#[test]
+fn responses_are_versioned_and_unknown_fields_are_rejected() {
+    let server = spawn(2, 8);
+    let mut client = Client::new(server.addr());
+
+    // Every response leads with the protocol version field.
+    let (status, body) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    let pairs = body.as_obj().unwrap();
+    assert_eq!(pairs[0].0, "v", "version leads: {body}");
+    assert_eq!(body.get("v").unwrap().as_u64(), Some(1));
+
+    // A request may carry "v": 1 explicitly.
+    let (status, _) = client
+        .post(
+            "/spanners",
+            &Json::obj(vec![("v", Json::num(1u32)), ("pattern", Json::str(LOCAL))]),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+
+    // A different version is refused.
+    let (status, body) = client
+        .post(
+            "/spanners",
+            &Json::obj(vec![("v", Json::num(2u32)), ("pattern", Json::str(LOCAL))]),
+        )
+        .unwrap();
+    assert_eq!(status, 400);
+    let err = body.get("error").unwrap().as_str().unwrap();
+    assert!(err.contains("protocol version"), "{err}");
+    assert_eq!(body.get("v").unwrap().as_u64(), Some(1), "errors carry v");
+
+    // An unknown field is a typed 400 naming the offending key — a
+    // client typo must fail loudly, not be silently ignored.
+    let (status, body) = client
+        .post(
+            "/spanners",
+            &Json::obj(vec![
+                ("pattern", Json::str(LOCAL)),
+                ("engin", Json::str("dense")),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 400);
+    let err = body.get("error").unwrap().as_str().unwrap();
+    assert!(err.contains("unknown field"), "{err}");
+    assert!(err.contains("engin"), "names the offender: {err}");
+}
+
+#[test]
+fn corpus_resources_deltas_match_offline_and_hit_the_segment_cache() {
+    let server = spawn(2, 8);
+    let mut client = Client::new(server.addr());
+
+    let spanner = register_spanner(&mut client, LOCAL);
+    let splitter = register_sentences(&mut client);
+    let shards = ["aaa bb. cc aa. dd a", "b aa. aaa."];
+
+    // PUT the corpus: split once, maintained thereafter.
+    let (status, body) = client
+        .put(
+            "/corpus/wiki",
+            &Json::obj(vec![
+                ("splitter", Json::str(splitter.clone())),
+                ("shards", docs_json(&shards)),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body.get("shards").unwrap().as_u64(), Some(2));
+    assert_eq!(body.get("replaced").unwrap().as_bool(), Some(false));
+    assert_eq!(body.get("segments").unwrap().as_u64(), Some(5));
+
+    // Extraction by corpus id equals the offline reference
+    // byte-for-byte.
+    let extract_req = Json::obj(vec![
+        ("spanner", Json::str(spanner.clone())),
+        ("corpus", Json::str("wiki")),
+    ]);
+    let offline = |docs: &[&str]| {
+        offline_extract(&Json::obj(vec![
+            ("pattern", Json::str(LOCAL)),
+            ("splitter_builtin", Json::str("sentences")),
+            ("docs", docs_json(docs)),
+        ]))
+        .unwrap()
+        .get("relations")
+        .unwrap()
+        .to_string()
+    };
+    let (status, body) = client.post("/extract", &extract_req).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        body.get("relations").unwrap().to_string(),
+        offline(&shards),
+        "corpus extraction == offline full re-extraction"
+    );
+    let cache = body.get("stats").unwrap().get("segment_cache").unwrap();
+    let (hits_1, misses_1) = (
+        cache.get("hits").unwrap().as_u64().unwrap(),
+        cache.get("misses").unwrap().as_u64().unwrap(),
+    );
+    assert_eq!(misses_1, 5, "cold cache: every segment evaluated");
+
+    // A point edit: only the dirty window is resplit, and the maintained
+    // segmentation equals a from-scratch split of the edited text.
+    let (status, body) = client
+        .post(
+            "/corpus/wiki/delta",
+            &Json::obj(vec![
+                ("op", Json::str("edit")),
+                ("shard", Json::num(0u32)),
+                ("start", Json::num(11u32)),
+                ("end", Json::num(13u32)),
+                ("text", Json::str("aaaa")),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body.get("segments").unwrap().as_u64(), Some(5));
+    let delta = body.get("delta").unwrap();
+    assert!(delta.get("resplit_bytes").unwrap().as_u64().unwrap() > 0);
+
+    // Re-extraction: the untouched shard is answered from the handle's
+    // per-shard memo without running at all; inside the edited shard
+    // the untouched segments hit the shared cache and only the edited
+    // segment is re-evaluated.
+    let edited = ["aaa bb. cc aaaa. dd a", "b aa. aaa."];
+    let (status, body) = client.post("/extract", &extract_req).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        body.get("relations").unwrap().to_string(),
+        offline(&edited),
+        "post-delta extraction == offline on the edited corpus"
+    );
+    let stats = body.get("stats").unwrap();
+    assert_eq!(
+        stats.get("docs_reused").unwrap().as_u64(),
+        Some(1),
+        "the untouched shard never reaches the runner"
+    );
+    let cache = stats.get("segment_cache").unwrap();
+    let (hits_2, misses_2) = (
+        cache.get("hits").unwrap().as_u64().unwrap(),
+        cache.get("misses").unwrap().as_u64().unwrap(),
+    );
+    assert_eq!(misses_2, misses_1 + 1, "only the edited segment recomputed");
+    assert_eq!(
+        hits_2,
+        hits_1 + 2,
+        "the edited shard's two untouched segments hit"
+    );
+
+    // An append delta, verified the same way.
+    let (status, _) = client
+        .post(
+            "/corpus/wiki/delta",
+            &Json::obj(vec![
+                ("op", Json::str("append")),
+                ("shard", Json::num(1u32)),
+                ("text", Json::str(" new aa tail.")),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    let appended = ["aaa bb. cc aaaa. dd a", "b aa. aaa. new aa tail."];
+    let (_, body) = client.post("/extract", &extract_req).unwrap();
+    assert_eq!(
+        body.get("relations").unwrap().to_string(),
+        offline(&appended)
+    );
+
+    // The corpus summary reflects the maintained state.
+    let (status, body) = client.get("/corpus/wiki").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body.get("shards").unwrap().as_u64(), Some(2));
+    assert_eq!(
+        body.get("bytes").unwrap().as_u64(),
+        Some((appended[0].len() + appended[1].len()) as u64)
+    );
+
+    // Guard rails: docs+corpus together, wrong splitter binding, and
+    // unknown resources are refused.
+    let (status, _) = client
+        .post(
+            "/extract",
+            &Json::obj(vec![
+                ("spanner", Json::str(spanner.clone())),
+                ("corpus", Json::str("wiki")),
+                ("docs", docs_json(&["x"])),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 400);
+    let (status, body) = client
+        .post(
+            "/corpus/wiki/delta",
+            &Json::obj(vec![
+                ("op", Json::str("edit")),
+                ("shard", Json::num(0u32)),
+                ("start", Json::num(5u32)),
+                ("end", Json::num(2u32)),
+                ("text", Json::str("x")),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 400, "inverted range: {body}");
+
+    // DELETE removes the resource; extraction then 404s.
+    let (status, body) = client.delete("/corpus/wiki").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body.get("deleted").unwrap().as_bool(), Some(true));
+    let (status, _) = client.post("/extract", &extract_req).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.delete("/corpus/wiki").unwrap();
+    assert_eq!(status, 404, "already deleted");
+}
+
+#[test]
+fn fleet_extraction_by_corpus_matches_offline() {
+    let server = spawn(2, 8);
+    let mut client = Client::new(server.addr());
+
+    let sp1 = register_spanner(&mut client, LOCAL);
+    let sp2 = register_spanner(&mut client, LOCAL2);
+    let splitter = register_sentences(&mut client);
+    let (status, body) = client
+        .post(
+            "/fleets",
+            &Json::obj(vec![(
+                "members",
+                Json::Arr(vec![Json::str(sp1), Json::str(sp2)]),
+            )]),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let fleet = body.get("id").unwrap().as_str().unwrap().to_string();
+
+    let shards = ["aa bb. ab ba.", "bbb a."];
+    let (status, _) = client
+        .put(
+            "/corpus/mixed",
+            &Json::obj(vec![
+                ("splitter", Json::str(splitter)),
+                ("shards", docs_json(&shards)),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+
+    let (status, body) = client
+        .post(
+            "/extract",
+            &Json::obj(vec![
+                ("fleet", Json::str(fleet)),
+                ("corpus", Json::str("mixed")),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let offline = offline_extract(&Json::obj(vec![
+        (
+            "patterns",
+            Json::Arr(vec![Json::str(LOCAL), Json::str(LOCAL2)]),
+        ),
+        ("splitter_builtin", Json::str("sentences")),
+        ("docs", docs_json(&shards)),
+    ]))
+    .unwrap();
+    assert_eq!(
+        body.get("relations").unwrap().to_string(),
+        offline.get("relations").unwrap().to_string()
+    );
+}

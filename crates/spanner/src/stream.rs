@@ -135,6 +135,16 @@ struct PhaseDfas {
     /// engine's skip-loop. `None` = the state escapes on too much of the
     /// alphabet for skipping to pay.
     before_skip: Vec<Option<ByteFinder>>,
+    /// Whether the before state is Moore-equivalent to `before_start`:
+    /// identical `(open, oc)` outputs on every class, identical
+    /// end-of-input acceptance, and equivalent successors. From such a
+    /// state the continuation segmentation is the same function of the
+    /// remaining bytes as a fresh stream's — the relaxed quiescence
+    /// test of [`SplitterState::is_quiescent`]. (Checking `id ==
+    /// before_start` alone is too strict: the subset construction
+    /// routinely lands in start-equivalent states with different ids
+    /// after consuming bytes.)
+    before_like_start: Vec<bool>,
 }
 
 /// Precompiled stepping structures of a unary splitter: byte classes,
@@ -499,6 +509,47 @@ impl StreamTables {
             });
         }
 
+        // Start-equivalence for the quiescence probe: partition the
+        // before-DFA by Moore refinement, where a state's output is its
+        // `(open, oc)` action pair on every class plus its end-of-input
+        // acceptance, and two states stay merged only if their
+        // successors stay merged. Bisimilar states yield identical
+        // segmentations on every suffix, so any state in the start
+        // state's block is a sound resplit frontier.
+        let mut block = vec![0u32; n_before];
+        {
+            let mut ids: HashMap<Vec<u32>, u32> = HashMap::new();
+            for q in 0..n_before {
+                let mut sig: Vec<u32> = Vec::with_capacity(2 * self.nc + 1);
+                sig.push(before_oc_at_end[q] as u32);
+                for c in 0..self.nc {
+                    sig.push(before_open[q * self.nc + c]);
+                    sig.push(before_oc[q * self.nc + c]);
+                }
+                let fresh = ids.len() as u32;
+                block[q] = *ids.entry(sig).or_insert(fresh);
+            }
+            loop {
+                let mut ids: HashMap<Vec<u32>, u32> = HashMap::new();
+                let mut next_block = vec![0u32; n_before];
+                for q in 0..n_before {
+                    let mut sig: Vec<u32> = Vec::with_capacity(self.nc + 1);
+                    sig.push(block[q]);
+                    for c in 0..self.nc {
+                        sig.push(block[before_next[q * self.nc + c] as usize]);
+                    }
+                    let fresh = ids.len() as u32;
+                    next_block[q] = *ids.entry(sig).or_insert(fresh);
+                }
+                if next_block == block {
+                    break;
+                }
+                block = next_block;
+            }
+        }
+        let start_block = block[before_start as usize];
+        let before_like_start: Vec<bool> = block.iter().map(|&b| b == start_block).collect();
+
         Some(PhaseDfas {
             before_next,
             before_open,
@@ -512,6 +563,7 @@ impl StreamTables {
             after_universal,
             before_start,
             before_skip,
+            before_like_start,
         })
     }
 }
@@ -527,7 +579,7 @@ fn intersects(a: &[u64], b: &[u64]) -> bool {
 }
 
 /// A closed-but-unreleased candidate span in DFA mode.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct DfaCandidate {
     span: Span,
     /// After-DFA state; meaningless once `confirmed`.
@@ -536,7 +588,7 @@ struct DfaCandidate {
 }
 
 /// A closed-but-unreleased candidate span in set mode.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SetCandidate {
     span: Span,
     /// After-phase frontier; meaningless once `confirmed`.
@@ -545,7 +597,7 @@ struct SetCandidate {
 }
 
 /// DFA-mode runtime state: everything is a `u32` phase-DFA id.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct DfaState {
     before: u32,
     /// `(open position, inside-DFA id)`, ascending positions.
@@ -555,7 +607,7 @@ struct DfaState {
 }
 
 /// Set-mode (fallback) runtime state: exact NFA frontiers.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SetState {
     before: Vec<u64>,
     pending: Vec<(usize, Vec<u64>)>,
@@ -568,7 +620,7 @@ struct SetState {
     close_buf: Vec<u64>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Mode {
     Dfa(DfaState),
     Sets(SetState),
@@ -580,13 +632,17 @@ enum Mode {
 /// [`SplitterState::finish`] at end of stream. Obtain one per stream via
 /// [`crate::splitter::CompiledSplitter::stream`]; the precompiled
 /// [`StreamTables`] are shared, the per-stream state is not.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SplitterState {
     t: Arc<StreamTables>,
     /// Bytes consumed so far (= the stream offset of the next byte).
     pos: usize,
     /// Bytes consumed by the skip-loop scanner instead of DFA steps.
     skipped: u64,
+    /// Largest position observed quiescent so far (see
+    /// [`SplitterState::last_quiescent`]). 0 — the fresh start — is
+    /// trivially quiescent.
+    quiet: usize,
     /// Emitted spans not yet drained by the caller.
     out: Vec<Span>,
     mode: Mode,
@@ -621,6 +677,7 @@ impl SplitterState {
             t: tables,
             pos: 0,
             skipped: 0,
+            quiet: 0,
             out: Vec::new(),
             mode,
         }
@@ -667,6 +724,56 @@ impl SplitterState {
             .min(c.unwrap_or(usize::MAX))
     }
 
+    /// True when the stream state is **quiescent**: every emitted span
+    /// has been drained, nothing is pending or unresolved, and the
+    /// before-phase simulation sits in exactly its start configuration.
+    /// From a quiescent position the continuation is the same function
+    /// of the remaining bytes as a fresh stream's (shifted by the
+    /// offset) — which makes quiescent positions the *stable resplit
+    /// frontiers* of the incremental corpus-maintenance layer: an edit
+    /// strictly between two quiescent positions can only change the
+    /// segments between them.
+    pub fn is_quiescent(&self) -> bool {
+        if !self.out.is_empty() {
+            return false;
+        }
+        match &self.mode {
+            Mode::Dfa(d) => {
+                let dfas = self.t.dfas.as_ref().expect("DFA mode has tables");
+                d.pending.is_empty()
+                    && d.candidates.is_empty()
+                    && dfas.before_like_start[d.before as usize]
+            }
+            Mode::Sets(s) => {
+                if !s.pending.is_empty() || !s.candidates.is_empty() {
+                    return false;
+                }
+                let start = self.t.start as usize;
+                s.before.iter().enumerate().all(|(w, &bits)| {
+                    let expect = if w == start >> 6 {
+                        1u64 << (start & 63)
+                    } else {
+                        0
+                    };
+                    bits == expect
+                })
+            }
+        }
+    }
+
+    /// The largest stream position observed quiescent so far (0 — the
+    /// fresh start — counts). Unlike [`SplitterState::is_quiescent`],
+    /// which answers only for the *current* position, this is tracked
+    /// byte by byte while stepping, so quiescent positions strictly
+    /// inside a pushed chunk are found too — for delimiter-based
+    /// splitters those are exactly the just-past-a-delimiter positions,
+    /// which almost never coincide with chunk boundaries. The
+    /// incremental corpus layer records these as its stable resplit
+    /// frontiers.
+    pub fn last_quiescent(&self) -> usize {
+        self.quiet
+    }
+
     /// Consumes a chunk of the document and returns the split spans
     /// (absolute stream offsets) that became releasable, in ascending
     /// `(start, end)` order across the whole stream.
@@ -689,18 +796,24 @@ impl SplitterState {
         while i < chunk.len() {
             let jump = match (&self.mode, self.t.dfas.as_ref()) {
                 (Mode::Dfa(d), Some(dfas)) if d.pending.is_empty() && d.candidates.is_empty() => {
+                    let like = dfas.before_like_start[d.before as usize];
                     dfas.before_skip[d.before as usize]
                         .as_ref()
-                        .map(|f| f.find(&chunk[i..]))
+                        .map(|f| (f.find(&chunk[i..]), like))
                 }
                 _ => None,
             };
-            if let Some(hit) = jump {
+            if let Some((hit, like)) = jump {
                 // Jump over the inert run (possibly the whole chunk).
                 let j = hit.unwrap_or(chunk.len() - i);
                 self.pos += j;
                 self.skipped += j as u64;
                 i += j;
+                if like {
+                    // Inert run from a start-like state with nothing
+                    // unresolved: every position in it is quiescent.
+                    self.quiet = self.pos;
+                }
                 if i >= chunk.len() {
                     break;
                 }
@@ -845,6 +958,12 @@ impl SplitterState {
             }
             self.out.push(d.candidates.remove(0).span);
         }
+        if d.pending.is_empty()
+            && d.candidates.is_empty()
+            && dfas.before_like_start[d.before as usize]
+        {
+            self.quiet = self.pos;
+        }
     }
 
     /// One byte in set mode: exact NFA frontier stepping. Allocation-free
@@ -933,6 +1052,20 @@ impl SplitterState {
                 break;
             }
             self.out.push(s.candidates.remove(0).span);
+        }
+        if s.pending.is_empty() && s.candidates.is_empty() {
+            let start = t.start as usize;
+            let at_start = s.before.iter().enumerate().all(|(w, &bits)| {
+                let expect = if w == start >> 6 {
+                    1u64 << (start & 63)
+                } else {
+                    0
+                };
+                bits == expect
+            });
+            if at_start {
+                self.quiet = self.pos;
+            }
         }
     }
 }

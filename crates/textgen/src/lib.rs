@@ -13,6 +13,9 @@
 //!
 //! * [`corpus`] — seeded, size-parameterized document and collection
 //!   generators.
+//! * [`edits`] — seeded Wikipedia-model edit scripts (point edits,
+//!   appends, shard rewrites) over sharded corpora: the workload
+//!   driver behind the incremental-maintenance benchmark.
 //! * [`spangen`] — seeded random spanners, splitter/fleet pools and
 //!   adversarial documents: the shared generator behind the
 //!   repository-wide engine-matrix differential test harness.
@@ -21,6 +24,7 @@
 //!   names, HTTP request lines.
 
 pub mod corpus;
+pub mod edits;
 pub mod spangen;
 pub mod spanners;
 

@@ -40,7 +40,8 @@ fn main() {
     // partition (coarsest common refinement of every member's
     // transition masks) and enrolls each member's required literal in
     // one Aho-Corasick scanner over SWAR byte finders.
-    let fleet = Arc::new(Fleet::compile(&catalog, Engine::Prefilter));
+    let opts = CompileOptions::new().engine(Engine::Prefilter);
+    let fleet = Arc::new(opts.compile_fleet(&catalog));
     println!(
         "fleet: {} members, {} shared needles",
         n,
@@ -64,21 +65,19 @@ fn main() {
     );
 
     // Fused: one streamed split pass, one shared scan per segment.
-    let runner = FleetRunner::new(fleet.clone(), s.compile(), CorpusRunnerConfig::default());
+    let runner = RunnerOptions::new().fleet_runner(fleet.clone(), opts.compile_splitter(&s));
     let t0 = Instant::now();
     let fused = runner.run_slices(&refs);
     let fused_wall = t0.elapsed();
 
     // Sequential: one full streaming pass per catalog member.
-    let members: Vec<ExecSpanner> = catalog
-        .iter()
-        .map(|v| ExecSpanner::compile_with(v, Engine::Prefilter))
-        .collect();
+    let members: Vec<ExecSpanner> = catalog.iter().map(|v| opts.compile_spanner(v)).collect();
     let t0 = Instant::now();
     let sequential: Vec<CorpusResult> = members
         .iter()
         .map(|m| {
-            CorpusRunner::new(m.clone(), s.compile(), CorpusRunnerConfig::default())
+            RunnerOptions::new()
+                .corpus_runner(m.clone(), opts.compile_splitter(&s))
                 .run_slices(&refs)
         })
         .collect();

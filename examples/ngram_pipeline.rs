@@ -48,10 +48,13 @@ fn main() {
         ..Default::default()
     };
     let doc = textgen::wiki_corpus(&cfg);
-    // `compile` defaults to the dense engine (byte-class tables + lazy
-    // DFA); compare against the plain NFA simulation on the same corpus.
-    let spanner = ExecSpanner::compile(&bigrams);
-    let nfa_spanner = ExecSpanner::compile_with(&bigrams, Engine::Nfa);
+    // `CompileOptions` defaults to the dense engine (byte-class tables
+    // + lazy DFA); compare against the plain NFA simulation on the same
+    // corpus — one builder, two engine requests.
+    let spanner = CompileOptions::new().compile_spanner(&bigrams);
+    let nfa_spanner = CompileOptions::new()
+        .engine(Engine::Nfa)
+        .compile_spanner(&bigrams);
     let split: SplitFn = Arc::new(native_splitters::sentences);
 
     let t0 = Instant::now();

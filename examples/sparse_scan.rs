@@ -56,11 +56,9 @@ fn main() {
 
     let mut results = Vec::new();
     for engine in [Engine::Dense, Engine::Prefilter] {
-        let runner = CorpusRunner::new(
-            ExecSpanner::compile_with(&p, engine),
-            s.compile(),
-            CorpusRunnerConfig::default(),
-        );
+        let opts = CompileOptions::new().engine(engine);
+        let runner =
+            RunnerOptions::new().corpus_runner(opts.compile_spanner(&p), opts.compile_splitter(&s));
         let t0 = Instant::now();
         let out = runner.run_slices(&refs);
         let wall = t0.elapsed();

@@ -25,6 +25,11 @@ field) and applies named performance gates:
                gate holds when at least two workloads meet the ratio
                (the AOT tier must beat lazy dense on at least two of
                the e1-e4 hot loops, not on every shape)
+  incremental  full/incremental wall ratio on the `t8_incremental`
+               edit workload (`scale` carries the maintained segment
+               count), judged at the largest `scale` point per engine
+               (pin with the gate's scale component); every engine
+               present must meet the ratio
 
 Scaling gates key on each row's `scale` field, not on bench-name
 suffixes or row positions.
@@ -66,7 +71,7 @@ LEGACY_ORDER = [
     "throughput",
 ]
 
-GATE_NAMES = set(LEGACY_ORDER) | {"aot"}
+GATE_NAMES = set(LEGACY_ORDER) | {"aot", "incremental"}
 
 
 def load_rows(path):
@@ -168,6 +173,7 @@ def run(argv) -> int:
     min_server_cert_speedup = gate_ratio(gates, "server-cert")
     min_req_per_s = gate_ratio(gates, "throughput")
     min_aot_speedup = gate_ratio(gates, "aot")
+    min_incremental_speedup = gate_ratio(gates, "incremental")
 
     rows, err = load_rows(path)
     if err:
@@ -346,6 +352,40 @@ def run(argv) -> int:
             print(f"aot tier meets {min_aot_speedup:.2f}x on {winners} "
                   f"workload(s); at least 2 required")
             return 1
+
+    # Incremental maintenance vs full rescan on the t8 edit workload,
+    # judged at the largest `scale` (= maintained segments) point per
+    # engine (or the pinned one); every engine present must meet the
+    # ratio — incremental re-extraction must not regress on any tier.
+    inc_scale = gate_scale(gates, "incremental")
+    t8 = {}
+    for row in rows:
+        for kind in ("incremental", "full"):
+            if row["bench"] == f"t8_incremental/{kind}":
+                t8.setdefault(row["engine"], {}).setdefault(
+                    row["scale"], {})[kind] = row["wall_ms"]
+    pairs = 0
+    for engine, by_scale in sorted(t8.items()):
+        ks = [k for k, e in by_scale.items()
+              if "incremental" in e and "full" in e]
+        if not ks:
+            continue
+        k = inc_scale if inc_scale is not None and inc_scale in ks else max(ks)
+        full = by_scale[k]["full"]
+        inc = by_scale[k]["incremental"]
+        speedup = full / max(inc, 1e-9)
+        print(f"t8_incremental ({engine}, scale={k:g}): full {full:.2f} ms, "
+              f"incremental {inc:.2f} ms -> {speedup:.2f}x")
+        pairs += 1
+        if speedup < min_incremental_speedup:
+            print(f"incremental speedup {speedup:.2f}x ({engine}) at "
+                  f"scale={k:g} is below the required "
+                  f"{min_incremental_speedup:.2f}x")
+            return 1
+    if min_incremental_speedup > 0.0 and pairs == 0:
+        print("incremental gate requested but no t8_incremental rows with "
+              "both incremental and full passes")
+        return 1
 
     print(f"OK: {len(rows)} rows; best dense speedup {best:.2f}x on {best_bench}")
     return 0

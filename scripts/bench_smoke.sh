@@ -54,6 +54,13 @@ run e8_server dense
 # emitting paired rows itself; the --engine flag is
 # accepted-and-ignored for uniformity.
 run e9_aot dense
+# Boots an in-process splitc-server; drives a corpus-delta edit loop
+# and emits delta + per-request-rescan rows for the selected engine.
+run e10_server_delta dense
+run t8_incremental nfa
+run t8_incremental dense
+run t8_incremental prefilter
+run t8_incremental aot
 run t2_splitcorrect_scaling dense
 # Emits both certification engines (antichain + determinize) itself;
 # the --engine flag is accepted-and-ignored for uniformity.

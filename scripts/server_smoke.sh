@@ -72,36 +72,105 @@ cert2 = json.loads(call("POST", "/certify", pair))
 assert cert2["cached"] is True, f"second certification must hit the cache: {cert2}"
 
 # Extract through the server, then offline; the relations payloads
-# must be byte-identical (both sides share one JSON encoder).
-body = call("POST", "/extract", {**pair, "docs": DOCS}).decode()
-prefix = '{"relations":'
-assert body.startswith(prefix), f"unexpected extract shape: {body[:80]}"
-server_rel = body[len(prefix):body.index(',"stats":')]
+# must be byte-identical (both sides share one JSON encoder). Wire
+# responses lead with the protocol version; the offline reference is
+# not a wire response and carries none.
+prefix = '{"v":1,"relations":'
+offline_prefix = '{"relations":'
 
-offline_req = json.dumps(
-    {"pattern": PATTERN, "splitter_builtin": "sentences", "docs": DOCS})
-offline = subprocess.run(
-    [bin_path, "--offline"], input=offline_req, capture_output=True,
-    text=True, check=True).stdout.strip()
-assert offline.startswith(prefix) and offline.endswith("}"), \
-    f"unexpected offline shape: {offline[:80]}"
-offline_rel = offline[len(prefix):-1]
+
+def extract_relations(req):
+    body = call("POST", "/extract", req).decode()
+    assert body.startswith(prefix), f"unexpected extract shape: {body[:80]}"
+    return body[len(prefix):body.index(',"stats":')]
+
+
+def extract_stats(req):
+    return json.loads(call("POST", "/extract", req))["stats"]
+
+
+def offline_relations(docs):
+    offline_req = json.dumps(
+        {"pattern": PATTERN, "splitter_builtin": "sentences", "docs": docs})
+    offline = subprocess.run(
+        [bin_path, "--offline"], input=offline_req, capture_output=True,
+        text=True, check=True).stdout.strip()
+    assert offline.startswith(offline_prefix) and offline.endswith("}"), \
+        f"unexpected offline shape: {offline[:80]}"
+    return offline[len(offline_prefix):-1]
+
+
+server_rel = extract_relations({**pair, "docs": DOCS})
+offline_rel = offline_relations(DOCS)
 assert server_rel == offline_rel, (
     "server and offline relations differ:\n"
     f"  server : {server_rel}\n  offline: {offline_rel}")
 assert server_rel != "[]", "smoke corpus must produce tuples"
 
-# Stats reflect the session: one certification miss, cache hits from
-# the re-certify and the checked extract, all responses 2xx.
+# Unknown fields are rejected with a typed 400 naming the key.
+err = call("POST", "/extract", {**pair, "docs": DOCS, "dcos": []},
+           expect=400).decode()
+assert '"v":1' in err and "dcos" in err, f"unknown-field 400 names the key: {err}"
+
+# Corpus resources: PUT shards, extract by id (fills the segment
+# cache and the handle's per-shard memo), apply a point-edit delta,
+# and prove the delta-maintained extraction answers byte-identically
+# to offline full re-extraction of the edited corpus — with only the
+# edited shard re-run and, inside it, only the edited segment
+# re-evaluated.
+call("PUT", "/corpus/smoke", {"splitter": splitter["id"], "shards": DOCS})
+by_corpus = {"spanner": spanner["id"], "corpus": "smoke"}
+stats0 = extract_stats(by_corpus)
+assert stats0["docs_reused"] == 0, f"cold extract runs every shard: {stats0}"
+stats0 = stats0["segment_cache"]
+assert stats0["misses"] > 0 and stats0["hits"] == 0, \
+    f"cold corpus extract misses every segment: {stats0}"
+cold_misses = stats0["misses"]
+
+# "Charlie aa delta." -> "Charlie aaa delta." (one segment touched).
+edited = DOCS[0].replace("Charlie aa ", "Charlie aaa ")
+start = DOCS[0].index("aa delta")
+delta = json.loads(call("POST", "/corpus/smoke/delta", {
+    "op": "edit", "shard": 0, "start": start, "end": start + 2,
+    "text": "aaa"}))
+assert delta["delta"]["segments_resplit"] >= 1, f"delta resplits: {delta}"
+
+server_rel = extract_relations(by_corpus)
+assert server_rel == offline_relations([edited, DOCS[1]]), \
+    "delta-maintained extraction must equal offline full re-extraction"
+stats1 = extract_stats(by_corpus)
+assert stats1["docs_reused"] == len(DOCS), \
+    f"an unchanged corpus re-extraction is answered from the memo: {stats1}"
+stats1 = stats1["segment_cache"]
+assert stats1["misses"] == cold_misses + 1, \
+    f"a one-segment edit re-evaluates exactly one segment: {stats1}"
+assert stats1["hits"] >= 1, \
+    f"untouched segments of the edited shard are cache hits: {stats1}"
+
+call("DELETE", "/corpus/smoke")
+call("POST", "/extract", by_corpus, expect=404)
+
+# Stats reflect the session: one certification miss (the corpus
+# extractions certify the same pair — cache hits), exactly the two
+# deliberate 4xx probes above, and six /extract requests (inline docs,
+# the unknown-field 400, three corpus runs, the post-delete 404).
 stats = json.loads(call("GET", "/stats"))
+assert stats["v"] == 1, f"stats responses carry the protocol version: {stats}"
 cc = stats["registry"]["cert_cache"]
 assert cc["misses"] == 1, f"exactly one cold certification expected: {cc}"
 assert cc["hits"] >= 2, f"re-certify + checked extract must hit: {cc}"
-assert stats["responses"]["client_4xx"] == 0 \
+assert stats["registry"]["corpora"] == 0, \
+    f"the smoke corpus was deleted: {stats['registry']}"
+assert stats["responses"]["client_4xx"] == 2 \
     and stats["responses"]["server_5xx"] == 0, \
-    f"no error responses expected: {stats['responses']}"
-assert stats["latency"]["extract"]["count"] == 1, \
-    f"one extract recorded: {stats['latency']['extract']}"
+    f"only the two deliberate 4xx probes expected: {stats['responses']}"
+assert stats["latency"]["extract"]["count"] == 6, \
+    f"six extracts recorded: {stats['latency']['extract']}"
+assert stats["latency"]["corpus"]["count"] == 3, \
+    f"PUT + delta + DELETE recorded: {stats['latency']['corpus']}"
+assert stats["segment_cache"]["hits"] > 0 \
+    and stats["segment_cache"]["evictions"] == 0, \
+    f"segment cache served the corpus re-extractions: {stats['segment_cache']}"
 assert stats["pool"]["workers"] == 4
 
 print("== round-trip OK: relations byte-identical to offline reference,"

@@ -265,5 +265,41 @@ class AotGate(BenchCheckCase):
         self.assertEqual(self.check_named(BASE, "dense:1.5"), 0)
 
 
+class IncrementalGate(BenchCheckCase):
+    def pair(self, engine, full, inc, scale=1000):
+        return [row("t8_incremental/full", engine, full, scale=scale),
+                row("t8_incremental/incremental", engine, inc, scale=scale)]
+
+    def test_boundary(self):
+        rows = BASE + self.pair("dense", 300.0, 100.0)
+        self.assertEqual(self.check_named(rows, "incremental:3.0"), 0)
+        self.assertEqual(self.check_named(rows, "incremental:3.1"), 1)
+
+    def test_every_engine_must_meet_the_ratio(self):
+        rows = (BASE + self.pair("dense", 400.0, 100.0)
+                + self.pair("nfa", 200.0, 100.0))
+        self.assertEqual(self.check_named(rows, "incremental:2.0"), 0)
+        # nfa is only 2x: a 3x gate fails even though dense is 4x.
+        self.assertEqual(self.check_named(rows, "incremental:3.0"), 1)
+
+    def test_judged_at_largest_scale(self):
+        # 1x at 1k segments, 5x at 100k: only the largest point is gated.
+        rows = (BASE + self.pair("dense", 100.0, 100.0, scale=1000)
+                + self.pair("dense", 500.0, 100.0, scale=100000))
+        self.assertEqual(self.check_named(rows, "incremental:3.0"), 0)
+
+    def test_scale_component_pins_the_point(self):
+        rows = (BASE + self.pair("dense", 500.0, 100.0, scale=1000)
+                + self.pair("dense", 100.0, 100.0, scale=100000))
+        self.assertEqual(self.check_named(rows, "incremental:3.0"), 1)
+        self.assertEqual(self.check_named(rows, "incremental:3.0:1000"), 0)
+
+    def test_requested_but_missing_fails(self):
+        self.assertEqual(self.check_named(BASE, "incremental:3.0"), 1)
+
+    def test_absent_rows_are_not_gated_when_unrequested(self):
+        self.assertEqual(self.check_named(BASE, "dense:1.5"), 0)
+
+
 if __name__ == "__main__":
     unittest.main()
