@@ -761,3 +761,44 @@ mod tests {
         assert_eq!(third.relations, full.relations);
     }
 }
+
+#[cfg(test)]
+mod review_probe {
+    use super::*;
+    use splitc_spanner::Splitter;
+
+    #[test]
+    fn empty_segment_at_left_frontier() {
+        // A splitter that emits an empty span [i,i> before each 'a'.
+        let s = Splitter::parse(".*x{}a.*").unwrap();
+        let compiled = s.compile();
+        let mut h = CorpusHandle::from_shards(compiled.clone(), [b"bbabb".to_vec()]);
+        // Sanity: maintained segmentation matches batch split.
+        assert_eq!(h.segments(0), compiled.split(h.shard_bytes(0)).as_slice(), "initial");
+        // Insert at position 2 (just before the 'a'), displacing it.
+        h.edit(0, 2..2, b"c");
+        let full = compiled.split(h.shard_bytes(0));
+        assert_eq!(
+            h.segments(0),
+            full.as_slice(),
+            "after edit: bytes {:?}",
+            String::from_utf8_lossy(h.shard_bytes(0))
+        );
+    }
+
+    #[test]
+    fn empty_segment_at_recorded_sync() {
+        let s = Splitter::parse(".*x{}a.*").unwrap();
+        let compiled = s.compile();
+        // 'a' exactly at position 2048 (a chunk boundary, where a sync
+        // is recorded); everything else inert 'b'.
+        let mut doc = vec![b'b'; 3000];
+        doc[2048] = b'a';
+        let mut h = CorpusHandle::from_shards(compiled.clone(), [doc]);
+        assert_eq!(h.segments(0), compiled.split(h.shard_bytes(0)).as_slice(), "initial");
+        // Edit well past the empty segment; left frontier = 2048.
+        h.edit(0, 2500..2501, b"X");
+        let full = compiled.split(h.shard_bytes(0));
+        assert_eq!(h.segments(0), full.as_slice(), "after edit");
+    }
+}
